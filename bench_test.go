@@ -1,0 +1,366 @@
+package sid
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper (each regenerates the artifact at a reduced trial count and
+// reports the headline numbers as custom metrics), plus ablation benches
+// for the design choices DESIGN.md calls out and micro-benchmarks of the
+// hot substrates. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-resolution artifacts are produced by cmd/sidbench.
+
+import (
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/cluster"
+	"github.com/sid-wsn/sid/internal/detect"
+	"github.com/sid-wsn/sid/internal/dsp"
+	"github.com/sid-wsn/sid/internal/eval"
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sensor"
+	isid "github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/wake"
+	"github.com/sid-wsn/sid/internal/wsn"
+)
+
+// --- Experiment benches: one per paper artifact ---
+
+func BenchmarkFig5OceanWaves(b *testing.B) {
+	sc := eval.DefaultScenario()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		r, err := eval.Fig5(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Z.Std, "zstd-counts")
+	}
+}
+
+func BenchmarkFig6STFT(b *testing.B) {
+	sc := eval.DefaultScenario()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		r, err := eval.Fig6N(sc, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanShipWakeBandEnergyRatio, "wakeband-ratio")
+	}
+}
+
+func BenchmarkFig7Wavelet(b *testing.B) {
+	sc := eval.DefaultScenario()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		r, err := eval.Fig7(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.LowBandFractionDuring, "lowband-%")
+	}
+}
+
+func BenchmarkFig8Filter(b *testing.B) {
+	sc := eval.DefaultScenario()
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		r, err := eval.Fig8(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.DisturbanceRatio, "disturbance-x")
+	}
+}
+
+func BenchmarkFig11NodeLevel(b *testing.B) {
+	cfg := eval.DefaultFig11Config()
+	cfg.Ms = []float64{2}
+	cfg.AFs = []float64{0.6}
+	cfg.Trials = 2
+	for i := 0; i < b.N; i++ {
+		cfg.Scenario.Seed = int64(i + 1)
+		pts, err := eval.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].Ratio, "ratio@M2af60")
+	}
+}
+
+func BenchmarkTable1NoShip(b *testing.B) {
+	cfg := eval.DefaultTableConfig()
+	cfg.Ms = []float64{2}
+	cfg.RowsSet = []int{4}
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cells, err := eval.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].C, "C-noship")
+	}
+}
+
+func BenchmarkTable2Ship(b *testing.B) {
+	cfg := eval.DefaultTableConfig()
+	cfg.Ms = []float64{2}
+	cfg.RowsSet = []int{4}
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		cells, err := eval.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].C, "C-ship")
+	}
+}
+
+func BenchmarkFig12Speed(b *testing.B) {
+	cfg := eval.DefaultFig12Config()
+	cfg.SpeedsKn = []float64{10}
+	cfg.AnglesDeg = []float64{10}
+	cfg.RunsPerAngle = 1
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rows, err := eval.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Runs > 0 {
+			b.ReportMetric(rows[0].MeanKn, "est-kn")
+		}
+	}
+}
+
+// --- Ablation benches (design choices from DESIGN.md §5) ---
+
+// ablationScenario runs one node-level detection trial and reports whether
+// the wake was detected and how many false events fired.
+func ablationDetect(b *testing.B, mutate func(*detect.Config)) (detected, falseEvents float64) {
+	b.Helper()
+	sc := eval.DefaultScenario()
+	sc.Seed = int64(b.N) // varies across runs, deterministic within
+	samples, ship, err := sc.Record(400, 260)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ship
+	cfg := detect.DefaultConfig()
+	mutate(&cfg)
+	det, err := detect.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wake, falseN float64
+	last := -1e9
+	for _, ws := range det.ProcessSeries(0, sensor.ZSeries(samples)) {
+		if !det.Detected(ws) {
+			continue
+		}
+		if ws.Onset >= 255 && ws.Onset <= 285 {
+			wake = 1
+		} else if ws.Onset-last > 15 {
+			falseN++
+			last = ws.Onset
+		} else {
+			last = ws.Onset
+		}
+	}
+	return wake, falseN
+}
+
+func BenchmarkAblationThresholdModePaper(b *testing.B) {
+	var det, fa float64
+	for i := 0; i < b.N; i++ {
+		d, f := ablationDetect(b, func(c *detect.Config) { c.Mode = detect.ThresholdModePaper })
+		det += d
+		fa += f
+	}
+	b.ReportMetric(det/float64(b.N), "detect-rate")
+	b.ReportMetric(fa/float64(b.N), "false-events")
+}
+
+func BenchmarkAblationThresholdModeZScore(b *testing.B) {
+	var det, fa float64
+	for i := 0; i < b.N; i++ {
+		d, f := ablationDetect(b, func(c *detect.Config) { c.Mode = detect.ThresholdModeZScore })
+		det += d
+		fa += f
+	}
+	b.ReportMetric(det/float64(b.N), "detect-rate")
+	b.ReportMetric(fa/float64(b.N), "false-events")
+}
+
+func BenchmarkAblationGateSample(b *testing.B) {
+	var det, fa float64
+	for i := 0; i < b.N; i++ {
+		d, f := ablationDetect(b, func(c *detect.Config) { c.Gate = detect.GateSample })
+		det += d
+		fa += f
+	}
+	b.ReportMetric(det/float64(b.N), "detect-rate")
+	b.ReportMetric(fa/float64(b.N), "false-events")
+}
+
+func BenchmarkAblationAdaptiveThreshold(b *testing.B) {
+	// Frozen (non-adaptive) threshold under the default sea: the
+	// comparison point for the adaptive design.
+	var det, fa float64
+	for i := 0; i < b.N; i++ {
+		d, f := ablationDetect(b, func(c *detect.Config) { c.FreezeAfterWarmup = true })
+		det += d
+		fa += f
+	}
+	b.ReportMetric(det/float64(b.N), "detect-rate")
+	b.ReportMetric(fa/float64(b.N), "false-events")
+}
+
+// BenchmarkAblationClusterRule compares the correlation-gated cluster
+// decision (eq. 13) against a plain majority vote on false-alarm data:
+// the vote confirms random reports, the correlation does not.
+func BenchmarkAblationClusterRule(b *testing.B) {
+	var voteFP, corrFP float64
+	for i := 0; i < b.N; i++ {
+		reports := randomClusterReports(int64(i + 1))
+		if cluster.MajorityVote(reports, 6) {
+			voteFP++
+		}
+		res, err := cluster.Evaluate(reports, cluster.DefaultConfig())
+		if err == nil && res.Detected {
+			corrFP++
+		}
+	}
+	b.ReportMetric(voteFP/float64(b.N), "vote-falsepos")
+	b.ReportMetric(corrFP/float64(b.N), "corr-falsepos")
+}
+
+func randomClusterReports(seed int64) []cluster.Report {
+	rng := newSplit(seed)
+	var out []cluster.Report
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			out = append(out, cluster.Report{
+				Node:   r*5 + c,
+				Pos:    geo.Vec2{X: float64(r) * 25, Y: float64(c) * 25},
+				Row:    r,
+				Onset:  rng() * 100,
+				Energy: rng() * 50,
+			})
+		}
+	}
+	return out
+}
+
+func newSplit(seed int64) func() float64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	return func() float64 {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		return float64(x%1000000) / 1000000
+	}
+}
+
+// BenchmarkAblationFailures measures cluster detection under node failures
+// and packet loss (§IV-C's reliability discussion).
+func BenchmarkAblationFailures(b *testing.B) {
+	var ok float64
+	for i := 0; i < b.N; i++ {
+		cfg := isid.DefaultConfig()
+		cfg.Grid = geo.GridSpec{Rows: 5, Cols: 5, Spacing: 25}
+		cfg.Radio.LossProb = 0.15
+		cfg.Seed = int64(i + 1)
+		rt, err := isid.NewRuntime(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Kill 3 random-ish nodes (deterministic picks).
+		for _, id := range []int{3, 11, 18} {
+			rt.Network().MustNode(wsn.NodeID(id)).Fail()
+		}
+		center := cfg.Grid.Center()
+		track := geo.NewLine(geo.Vec2{X: center.X + 12.5, Y: -200}, geo.Vec2{X: 0, Y: 1})
+		ship, err := wake.NewShip(track, geo.Knots(10), 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ship.Time0 = 150 - (ship.ArrivalTime(center) - ship.Time0)
+		rt.AddShip(ship)
+		if err := rt.Run(350); err != nil {
+			b.Fatal(err)
+		}
+		if len(rt.SinkReports()) > 0 {
+			ok++
+		}
+	}
+	b.ReportMetric(ok/float64(b.N), "detect-rate")
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkFFT2048(b *testing.B) {
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = float64(i % 97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.PowerSpectrum(x)
+	}
+}
+
+func BenchmarkMorletCWT(b *testing.B) {
+	x := make([]float64, 50*60)
+	for i := range x {
+		x[i] = float64(i % 31)
+	}
+	m, err := dsp.NewMorletCWT(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs, _ := dsp.LogFreqs(0.1, 2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Transform(x, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorPush(b *testing.B) {
+	det, err := detect.New(detect.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Push(float64(i)/50, 1024+float64(i%13))
+	}
+}
+
+func BenchmarkOceanFieldSample(b *testing.B) {
+	sc := eval.DefaultScenario()
+	sens, model, _, err := sc.Build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sens.SampleAt(model, float64(i)/50)
+	}
+}
+
+func BenchmarkClusterEvaluate(b *testing.B) {
+	reports := randomClusterReports(1)
+	cfg := cluster.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Evaluate(reports, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: deploy a SID surveillance grid, send one intruder across it,
+// and print what the sink confirms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/sid-wsn/sid"
+)
+
+func main() {
+	// A 5×5 buoy grid at 25 m spacing on a slight sea — the paper's
+	// experimental deployment.
+	cfg := sid.DefaultDeployment()
+	cfg.Seed = 42
+	dep, err := sid.NewDeployment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 10-knot boat crosses the field perpendicular to the grid rows,
+	// its wake front reaching the center at t = 150 s.
+	if err := dep.AddIntruder(sid.Intruder{SpeedKnots: 10, CrossAt: 150}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 400 s of simulated time: sampling at 50 Hz, node-level adaptive
+	// detection, temporary clustering, correlation, sink reporting.
+	if err := dep.Run(400); err != nil {
+		log.Fatal(err)
+	}
+
+	dets := dep.Detections()
+	if len(dets) == 0 {
+		log.Fatal("no intrusion confirmed — unexpected for this scenario")
+	}
+	for _, d := range dets {
+		fmt.Printf("intrusion confirmed at t=%.1fs: correlation C=%.2f from %d node reports\n",
+			d.Time, d.C, d.Reports)
+		if d.HasSpeed {
+			fmt.Printf("  estimated intruder speed %.1f kn, heading %.0f° (actual: 10.0 kn, 90°)\n",
+				d.SpeedKnots, d.HeadingDeg)
+		}
+	}
+	st := dep.Stats()
+	fmt.Printf("protocol: %d clusters formed, %d cancelled as false alarms, %d frames sent (%d lost)\n",
+		st.ClustersFormed, st.ClustersCancelled, st.FramesSent, st.FramesLost)
+}

@@ -1,0 +1,3 @@
+module github.com/sid-wsn/sid
+
+go 1.22

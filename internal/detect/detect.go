@@ -1,0 +1,475 @@
+// Package detect implements SID's node-level intrusion detection (§IV-B):
+// the per-node pipeline that turns raw z-accelerometer counts into
+// detection reports.
+//
+// Pipeline, following the paper:
+//
+//  1. Low-pass filter the z series at 1 Hz (ship wake and swell live below
+//     1 Hz; chop and sensor noise above it — Fig. 8).
+//  2. Subtract the 1 g gravity level and fold negative excursions up
+//     ("we have the absolute value of those signal below zero"), since
+//     disturbance information lives in both directions.
+//  3. Maintain batch statistics (mΔt, dΔt) over u-sample windows (eq. 4)
+//     and environment-adaptive moving statistics m′_T, d′_T with
+//     forgetting factors β₁ = β₂ = 0.99 (eq. 5). Windows containing
+//     threshold crossings do not update the moving statistics, so the
+//     adaptive threshold tracks the sea state but not the intrusions.
+//  4. Per sample compute the deviation Dᵢ and compare with the threshold
+//     D_max = M·m′_T (eqs. 6–7; see ThresholdMode for the two published
+//     readings of eq. 6).
+//  5. Over each Δt evaluation window compute the anomaly frequency
+//     af = N_A/N (eq. 7) and the average crossing energy E_Δt (eq. 8).
+//     A window whose af passes the configured threshold yields a Report
+//     carrying the onset time and energy — exactly what the paper's node
+//     transmits to its temporary cluster head.
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sid-wsn/sid/internal/dsp"
+	"github.com/sid-wsn/sid/internal/stats"
+)
+
+// UpdateGate selects which samples update the adaptive statistics.
+type UpdateGate int
+
+const (
+	// GateWindow (default) skips a whole statistics window only when the
+	// majority of its samples crossed the threshold (a disturbance is in
+	// progress); otherwise all samples are stored. This matches the
+	// paper's intent — intrusions must not contaminate the environment
+	// statistics — without the truncation bias of per-sample gating,
+	// which systematically underestimates m′_T by excluding the upper
+	// tail of the ambient distribution and so inflates the false-alarm
+	// rate (see DESIGN.md).
+	GateWindow UpdateGate = iota
+	// GateSample is the paper's literal rule: "if Di is normal, ai will
+	// be stored" — crossing samples never update the statistics.
+	GateSample
+)
+
+// String implements fmt.Stringer.
+func (g UpdateGate) String() string {
+	switch g {
+	case GateWindow:
+		return "window"
+	case GateSample:
+		return "sample"
+	default:
+		return fmt.Sprintf("UpdateGate(%d)", int(g))
+	}
+}
+
+// ThresholdMode selects the reading of the paper's eq. (6).
+type ThresholdMode int
+
+const (
+	// ThresholdModePaper is the literal equation set: Dᵢ = |aᵢ − d′_T|
+	// with D_max = M·m′_T. On the folded signal this is a magnitude test
+	// against a multiple of the mean folded amplitude.
+	ThresholdModePaper ThresholdMode = iota
+	// ThresholdModeZScore is the conventional reading: Dᵢ = |aᵢ − m′_T|
+	// with D_max = M·d′_T (deviation from the mean in units of the moving
+	// standard deviation).
+	ThresholdModeZScore
+)
+
+// String implements fmt.Stringer.
+func (m ThresholdMode) String() string {
+	switch m {
+	case ThresholdModePaper:
+		return "paper"
+	case ThresholdModeZScore:
+		return "zscore"
+	default:
+		return fmt.Sprintf("ThresholdMode(%d)", int(m))
+	}
+}
+
+// Config parametrizes a node-level detector. The zero value is not valid;
+// use DefaultConfig as a starting point.
+type Config struct {
+	// SampleRate of the z series in Hz (50 in the paper).
+	SampleRate float64
+	// CutoffHz is the low-pass cutoff (1 Hz in the paper).
+	CutoffHz float64
+	// FilterTaps sizes the FIR low-pass filter.
+	FilterTaps int
+	// GravityCounts is the 1 g level subtracted from the filtered signal
+	// (1024 counts for the LIS3L02DQ at ±2 g/12-bit).
+	GravityCounts float64
+	// Beta1, Beta2 are the moving-statistics forgetting factors (0.99).
+	Beta1, Beta2 float64
+	// M is the threshold multiplier (1–3 in the evaluation).
+	M float64
+	// Mode selects the eq. (6) reading.
+	Mode ThresholdMode
+	// Gate selects the statistics-update gating (see UpdateGate).
+	Gate UpdateGate
+	// StatWindow is u, the batch-statistics window length in samples
+	// (the paper samples "for a period of time"; 100 samples = 2 s).
+	StatWindow int
+	// AnomalyWindow is NΔt, the anomaly-frequency evaluation window in
+	// samples (Δt ≈ 2 s → 100 samples).
+	AnomalyWindow int
+	// AnomalyHop is the stride between evaluations of the sliding Δt
+	// window, in samples. A hop below the window length overlaps
+	// evaluations so a wake train straddling a window boundary is still
+	// seen whole. Defaults to AnomalyWindow/2.
+	AnomalyHop int
+	// AnomalyThreshold is the af fraction required to report (0–1].
+	AnomalyThreshold float64
+	// WarmupWindows is the number of initial batch windows consumed for
+	// initialization before any report can be produced (the paper's
+	// Initialization procedure plus filter settling).
+	WarmupWindows int
+	// FreezeAfterWarmup disables adaptive updates after initialization,
+	// turning the detector into the fixed-threshold baseline used by the
+	// adaptivity ablation.
+	FreezeAfterWarmup bool
+	// EscapeWindows guards against threshold lock-up: because only normal
+	// samples update the moving statistics (the paper's rule), a sudden,
+	// sustained rise in sea state would leave the threshold stuck below
+	// the new ambient level forever. After this many consecutive
+	// batch windows whose majority of samples cross the threshold —
+	// far longer than any wake train — the statistics re-initialize from
+	// the full (ungated) window. 0 disables the escape. This mechanism is
+	// an addition over the paper, documented in DESIGN.md.
+	EscapeWindows int
+}
+
+// DefaultConfig returns the paper's operating point: 50 Hz, 1 Hz cutoff,
+// β = 0.99, M = 2, Δt = 2 s, af threshold 60%.
+func DefaultConfig() Config {
+	return Config{
+		SampleRate:       50,
+		CutoffHz:         1,
+		FilterTaps:       101,
+		GravityCounts:    1024,
+		Beta1:            0.99,
+		Beta2:            0.99,
+		M:                2,
+		Mode:             ThresholdModePaper,
+		StatWindow:       100,
+		AnomalyWindow:    100,
+		AnomalyThreshold: 0.6,
+		WarmupWindows:    5,
+		EscapeWindows:    15,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("detect: SampleRate must be positive, got %g", c.SampleRate)
+	}
+	if c.CutoffHz <= 0 || c.CutoffHz >= c.SampleRate/2 {
+		return fmt.Errorf("detect: CutoffHz %g outside (0, %g)", c.CutoffHz, c.SampleRate/2)
+	}
+	if c.FilterTaps <= 0 {
+		return fmt.Errorf("detect: FilterTaps must be positive, got %d", c.FilterTaps)
+	}
+	if c.Beta1 <= 0 || c.Beta1 >= 1 || c.Beta2 <= 0 || c.Beta2 >= 1 {
+		return fmt.Errorf("detect: betas must be in (0,1), got %g, %g", c.Beta1, c.Beta2)
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("detect: M must be positive, got %g", c.M)
+	}
+	if c.StatWindow <= 0 || c.AnomalyWindow <= 0 {
+		return fmt.Errorf("detect: windows must be positive, got %d, %d", c.StatWindow, c.AnomalyWindow)
+	}
+	if c.AnomalyHop < 0 || c.AnomalyHop > c.AnomalyWindow {
+		return fmt.Errorf("detect: AnomalyHop must be in [0, AnomalyWindow], got %d", c.AnomalyHop)
+	}
+	if c.AnomalyThreshold <= 0 || c.AnomalyThreshold > 1 {
+		return fmt.Errorf("detect: AnomalyThreshold must be in (0,1], got %g", c.AnomalyThreshold)
+	}
+	if c.WarmupWindows < 1 {
+		return fmt.Errorf("detect: WarmupWindows must be ≥ 1, got %d", c.WarmupWindows)
+	}
+	if c.EscapeWindows < 0 {
+		return fmt.Errorf("detect: EscapeWindows must be non-negative, got %d", c.EscapeWindows)
+	}
+	return nil
+}
+
+// WindowStat summarizes one completed Δt anomaly-evaluation window.
+type WindowStat struct {
+	// Start and End are the window's time span (signal time base,
+	// group-delay compensated).
+	Start, End float64
+	// AnomalyFreq is af = N_A / NΔt (eq. 7).
+	AnomalyFreq float64
+	// Crossings is N_A, the number of threshold crossings.
+	Crossings int
+	// Energy is E_Δt, the average crossing deviation (eq. 8); 0 when no
+	// crossing occurred.
+	Energy float64
+	// Onset is the time of the first crossing in the window, or NaN.
+	Onset float64
+	// Threshold is the D_max in force during the window.
+	Threshold float64
+}
+
+// Report is the node-level detection the paper transmits to the temporary
+// cluster head: onset time and average crossing energy (§IV-B: "it reports
+// EΔ and the onset time").
+type Report struct {
+	Onset       float64
+	Energy      float64
+	AnomalyFreq float64
+}
+
+// Detector is a streaming node-level detector. Feed samples with Push;
+// it is not safe for concurrent use (one detector per node).
+type Detector struct {
+	cfg    Config
+	stream *dsp.Stream
+	delay  float64 // filter group delay in seconds
+
+	moving *stats.Moving
+
+	// batch statistics accumulation (normal samples only).
+	batch []float64
+
+	// escape bookkeeping: all samples of the current span, gated or not.
+	batchAll   []float64
+	batchCross int
+	consecAnom int
+
+	// sliding anomaly window: ring buffer of the last AnomalyWindow
+	// samples' evaluation records.
+	ring      []sampleRec
+	ringPos   int
+	ringFull  bool
+	sinceEval int
+	hop       int
+
+	samplesSeen   int
+	settleSamples int
+	warmupSamples int
+}
+
+// sampleRec is one sample's contribution to the sliding anomaly window.
+type sampleRec struct {
+	t       float64
+	dev     float64
+	crossed bool
+}
+
+// New validates cfg and builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fir, err := dsp.LowPassFIR(cfg.CutoffHz, cfg.SampleRate, cfg.FilterTaps, dsp.Hamming)
+	if err != nil {
+		return nil, err
+	}
+	moving, err := stats.NewMoving(cfg.Beta1, cfg.Beta2)
+	if err != nil {
+		return nil, err
+	}
+	settle := len(fir.Taps)
+	hop := cfg.AnomalyHop
+	if hop == 0 {
+		hop = cfg.AnomalyWindow / 2
+		if hop == 0 {
+			hop = 1
+		}
+	}
+	return &Detector{
+		cfg:           cfg,
+		stream:        fir.Stream(),
+		delay:         float64(fir.GroupDelay()) / cfg.SampleRate,
+		moving:        moving,
+		batch:         make([]float64, 0, cfg.StatWindow),
+		ring:          make([]sampleRec, cfg.AnomalyWindow),
+		hop:           hop,
+		settleSamples: settle,
+		warmupSamples: cfg.WarmupWindows*cfg.StatWindow + settle,
+	}, nil
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Threshold returns the current D_max (eq. 7's M·m′_T or the z-score
+// variant), or NaN before initialization.
+func (d *Detector) Threshold() float64 {
+	if !d.moving.Initialized() {
+		return math.NaN()
+	}
+	switch d.cfg.Mode {
+	case ThresholdModeZScore:
+		return d.cfg.M * d.moving.Std()
+	default:
+		return d.cfg.M * d.moving.Mean()
+	}
+}
+
+// deviation computes Dᵢ for a folded sample.
+func (d *Detector) deviation(folded float64) float64 {
+	switch d.cfg.Mode {
+	case ThresholdModeZScore:
+		return math.Abs(folded - d.moving.Mean())
+	default:
+		return math.Abs(folded - d.moving.Std())
+	}
+}
+
+// Push feeds one raw z sample (ADC counts) taken at time t. When a Δt
+// anomaly window completes, its statistics are returned with ok = true.
+// Samples must arrive in time order at the configured rate.
+func (d *Detector) Push(t float64, zCounts float64) (ws WindowStat, ok bool) {
+	filtered := d.stream.Push(zCounts)
+	d.samplesSeen++
+	// Discard the filter's startup transient: until the delay line is
+	// fully primed its output ramps from zero and would wreck the
+	// adaptive statistics.
+	if d.samplesSeen <= d.settleSamples {
+		return WindowStat{}, false
+	}
+	// The causal filter output at this instant describes the input
+	// group-delay seconds ago.
+	ft := t - d.delay
+
+	// Preprocess: remove gravity, fold.
+	folded := math.Abs(filtered - d.cfg.GravityCounts)
+
+	warm := d.samplesSeen > d.warmupSamples
+
+	crossing := false
+	var dev float64
+	if d.moving.Initialized() {
+		dev = d.deviation(folded)
+		crossing = dev > d.Threshold()
+	}
+
+	// Adaptive statistics update. GateSample is the paper's literal rule
+	// (crossing samples never stored); GateWindow stores whole windows
+	// unless a disturbance dominates them.
+	if d.cfg.Gate == GateSample && (!crossing || !d.moving.Initialized()) {
+		d.batch = append(d.batch, folded)
+		if len(d.batch) >= d.cfg.StatWindow {
+			if !d.cfg.FreezeAfterWarmup || !warm {
+				m, sd := stats.MeanStd(d.batch)
+				d.moving.Update(m, sd)
+			}
+			d.batch = d.batch[:0]
+		}
+	}
+
+	// Full-window bookkeeping: drives GateWindow updates and the escape
+	// mechanism (see Config.EscapeWindows) that re-initializes stuck
+	// statistics after a sustained environment shift.
+	d.batchAll = append(d.batchAll, folded)
+	if crossing {
+		d.batchCross++
+	}
+	if len(d.batchAll) >= d.cfg.StatWindow {
+		anomalous := float64(d.batchCross) > 0.5*float64(len(d.batchAll))
+		if anomalous {
+			d.consecAnom++
+		} else {
+			d.consecAnom = 0
+		}
+		update := !d.cfg.FreezeAfterWarmup || !warm
+		if d.cfg.Gate == GateWindow && update && (!anomalous || !d.moving.Initialized()) {
+			m, sd := stats.MeanStd(d.batchAll)
+			d.moving.Update(m, sd)
+		}
+		if d.cfg.EscapeWindows > 0 && !d.cfg.FreezeAfterWarmup &&
+			d.consecAnom >= d.cfg.EscapeWindows {
+			m, sd := stats.MeanStd(d.batchAll)
+			d.moving.Reinit(m, sd)
+			d.consecAnom = 0
+			d.batch = d.batch[:0]
+		}
+		d.batchAll = d.batchAll[:0]
+		d.batchCross = 0
+	}
+
+	// Sliding anomaly window bookkeeping starts only after warmup.
+	if !warm {
+		return WindowStat{}, false
+	}
+	d.ring[d.ringPos] = sampleRec{t: ft, dev: dev, crossed: crossing}
+	d.ringPos++
+	if d.ringPos == len(d.ring) {
+		d.ringPos = 0
+		d.ringFull = true
+	}
+	d.sinceEval++
+	if !d.ringFull || d.sinceEval < d.hop {
+		return WindowStat{}, false
+	}
+	d.sinceEval = 0
+	return d.evaluateRing(), true
+}
+
+// evaluateRing computes the WindowStat over the current ring contents in
+// chronological order.
+func (d *Detector) evaluateRing() WindowStat {
+	n := len(d.ring)
+	ws := WindowStat{
+		Start:     d.ring[d.ringPos].t, // oldest sample
+		End:       d.ring[(d.ringPos+n-1)%n].t,
+		Onset:     math.NaN(),
+		Threshold: d.Threshold(),
+	}
+	var energy float64
+	for i := 0; i < n; i++ {
+		rec := d.ring[(d.ringPos+i)%n]
+		if !rec.crossed {
+			continue
+		}
+		ws.Crossings++
+		energy += rec.dev
+		if math.IsNaN(ws.Onset) {
+			ws.Onset = rec.t
+		}
+	}
+	ws.AnomalyFreq = float64(ws.Crossings) / float64(n)
+	if ws.Crossings > 0 {
+		ws.Energy = energy / float64(ws.Crossings)
+	}
+	return ws
+}
+
+// Detected reports whether a window passes the af threshold (the node's
+// report condition).
+func (d *Detector) Detected(ws WindowStat) bool {
+	return ws.AnomalyFreq >= d.cfg.AnomalyThreshold
+}
+
+// ReportOf converts a passing window into the transmitted report.
+func (d *Detector) ReportOf(ws WindowStat) Report {
+	return Report{Onset: ws.Onset, Energy: ws.Energy, AnomalyFreq: ws.AnomalyFreq}
+}
+
+// ProcessSeries runs the detector over a whole recording starting at t0
+// and returns every completed window. Convenient for offline evaluation.
+func (d *Detector) ProcessSeries(t0 float64, z []float64) []WindowStat {
+	var out []WindowStat
+	for i, v := range z {
+		t := t0 + float64(i)/d.cfg.SampleRate
+		if ws, ok := d.Push(t, v); ok {
+			out = append(out, ws)
+		}
+	}
+	return out
+}
+
+// ReportsIn filters the windows that pass the detector's af threshold and
+// converts them to reports.
+func (d *Detector) ReportsIn(windows []WindowStat) []Report {
+	var out []Report
+	for _, ws := range windows {
+		if d.Detected(ws) {
+			out = append(out, d.ReportOf(ws))
+		}
+	}
+	return out
+}

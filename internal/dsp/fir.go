@@ -1,0 +1,169 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter described by its tap coefficients.
+type FIR struct {
+	Taps []float64
+}
+
+// LowPassFIR designs a windowed-sinc low-pass filter with the given cutoff
+// frequency (Hz), sample rate (Hz), and number of taps (made odd so the
+// filter has integer group delay). The node-level detector uses cutoff=1 Hz
+// at 50 Hz to "filter out the frequency above 1 Hz" (§IV-B, Fig. 8).
+func LowPassFIR(cutoff, sampleRate float64, taps int, window WindowType) (*FIR, error) {
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g Hz must be in (0, %g)", cutoff, sampleRate/2)
+	}
+	if err := mustPositive("FIR taps", taps); err != nil {
+		return nil, err
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	w, err := Window(window, taps)
+	if err != nil {
+		return nil, err
+	}
+	fc := cutoff / sampleRate // normalized cutoff in cycles/sample
+	mid := (taps - 1) / 2
+	h := make([]float64, taps)
+	var sum float64
+	for i := 0; i < taps; i++ {
+		n := float64(i - mid)
+		var v float64
+		if n == 0 {
+			v = 2 * fc
+		} else {
+			v = math.Sin(2*math.Pi*fc*n) / (math.Pi * n)
+		}
+		h[i] = v * w[i]
+		sum += h[i]
+	}
+	// Normalize for unity DC gain.
+	if sum != 0 {
+		for i := range h {
+			h[i] /= sum
+		}
+	}
+	return &FIR{Taps: h}, nil
+}
+
+// HighPassFIR designs a windowed-sinc high-pass filter by spectral inversion
+// of the corresponding low-pass design.
+func HighPassFIR(cutoff, sampleRate float64, taps int, window WindowType) (*FIR, error) {
+	lp, err := LowPassFIR(cutoff, sampleRate, taps, window)
+	if err != nil {
+		return nil, err
+	}
+	h := lp.Taps
+	mid := (len(h) - 1) / 2
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[mid] += 1
+	return &FIR{Taps: h}, nil
+}
+
+// GroupDelay returns the filter's group delay in samples ((taps−1)/2 for the
+// linear-phase designs produced by this package).
+func (f *FIR) GroupDelay() int { return (len(f.Taps) - 1) / 2 }
+
+// Apply filters x and returns a slice of the same length. Edges are handled
+// by implicit zero padding; output sample i is aligned with input sample i
+// (the group delay is compensated).
+func (f *FIR) Apply(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	full := Convolve(x, f.Taps)
+	delay := f.GroupDelay()
+	out := make([]float64, len(x))
+	copy(out, full[delay:delay+len(x)])
+	return out
+}
+
+// Stream runs the filter as a causal streaming operation: each pushed
+// sample yields one output sample delayed by the group delay. It is the
+// form a sensor node would run online.
+type Stream struct {
+	taps []float64
+	buf  []float64
+	pos  int
+}
+
+// Stream returns a streaming instance of the filter.
+func (f *FIR) Stream() *Stream {
+	return &Stream{taps: f.Taps, buf: make([]float64, len(f.Taps))}
+}
+
+// Push feeds one input sample and returns the next (causal) output sample.
+func (s *Stream) Push(x float64) float64 {
+	s.buf[s.pos] = x
+	s.pos = (s.pos + 1) % len(s.buf)
+	var acc float64
+	idx := s.pos
+	// buf[pos] is now the oldest sample; taps are applied newest-first.
+	for i := len(s.taps) - 1; i >= 0; i-- {
+		acc += s.taps[i] * s.buf[idx]
+		idx++
+		if idx == len(s.buf) {
+			idx = 0
+		}
+	}
+	return acc
+}
+
+// Reset clears the stream state.
+func (s *Stream) Reset() {
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+	s.pos = 0
+}
+
+// Decimate low-pass filters x (anti-aliasing at 0.8×Nyquist of the output
+// rate) and keeps every factor-th sample.
+func Decimate(x []float64, sampleRate float64, factor int) ([]float64, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("dsp: decimation factor must be positive, got %d", factor)
+	}
+	if factor == 1 {
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	}
+	outRate := sampleRate / float64(factor)
+	lp, err := LowPassFIR(0.4*outRate, sampleRate, 101, Hamming)
+	if err != nil {
+		return nil, err
+	}
+	filtered := lp.Apply(x)
+	out := make([]float64, 0, len(x)/factor+1)
+	for i := 0; i < len(filtered); i += factor {
+		out = append(out, filtered[i])
+	}
+	return out, nil
+}
+
+// Goertzel evaluates the power of a single DFT bin at the given target
+// frequency, a cheap narrowband detector suitable for energy-constrained
+// nodes (an alternative to a full FFT at node level).
+func Goertzel(x []float64, targetFreq, sampleRate float64) float64 {
+	if len(x) == 0 || sampleRate <= 0 {
+		return 0
+	}
+	k := math.Round(float64(len(x)) * targetFreq / sampleRate)
+	omega := 2 * math.Pi * k / float64(len(x))
+	coeff := 2 * math.Cos(omega)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}

@@ -1,0 +1,219 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// toneResponse measures the filter's gain at freq by filtering a pure tone
+// and comparing RMS in the steady-state middle of the signal.
+func toneResponse(f *FIR, freq, sampleRate float64) float64 {
+	n := int(sampleRate * 60)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / sampleRate)
+	}
+	y := f.Apply(x)
+	var inE, outE float64
+	for i := n / 4; i < 3*n/4; i++ {
+		inE += x[i] * x[i]
+		outE += y[i] * y[i]
+	}
+	if inE == 0 {
+		return 0
+	}
+	return math.Sqrt(outE / inE)
+}
+
+func TestLowPassFIRResponse(t *testing.T) {
+	lp, err := LowPassFIR(1.0, 50, 201, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passband: ~unity gain.
+	for _, f := range []float64{0.1, 0.3, 0.5} {
+		g := toneResponse(lp, f, 50)
+		if math.Abs(g-1) > 0.05 {
+			t.Errorf("gain at %v Hz = %v, want ~1", f, g)
+		}
+	}
+	// Stopband: strong attenuation.
+	for _, f := range []float64{3, 5, 10, 20} {
+		g := toneResponse(lp, f, 50)
+		if g > 0.01 {
+			t.Errorf("gain at %v Hz = %v, want < 0.01", f, g)
+		}
+	}
+}
+
+func TestLowPassFIRDCGain(t *testing.T) {
+	lp, err := LowPassFIR(1.0, 50, 101, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tap := range lp.Taps {
+		sum += tap
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("DC gain = %v, want 1", sum)
+	}
+}
+
+func TestLowPassFIROddTaps(t *testing.T) {
+	lp, err := LowPassFIR(1.0, 50, 100, Hamming) // even request becomes odd
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lp.Taps)%2 != 1 {
+		t.Errorf("taps = %d, want odd", len(lp.Taps))
+	}
+	if lp.GroupDelay() != (len(lp.Taps)-1)/2 {
+		t.Errorf("GroupDelay = %d", lp.GroupDelay())
+	}
+}
+
+func TestLowPassFIRValidation(t *testing.T) {
+	if _, err := LowPassFIR(0, 50, 101, Hamming); err == nil {
+		t.Error("expected error for zero cutoff")
+	}
+	if _, err := LowPassFIR(25, 50, 101, Hamming); err == nil {
+		t.Error("expected error for cutoff at Nyquist")
+	}
+	if _, err := LowPassFIR(1, 50, 0, Hamming); err == nil {
+		t.Error("expected error for zero taps")
+	}
+}
+
+func TestHighPassFIRResponse(t *testing.T) {
+	hp, err := HighPassFIR(5, 50, 201, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := toneResponse(hp, 0.5, 50); g > 0.02 {
+		t.Errorf("HP gain at 0.5 Hz = %v, want ~0", g)
+	}
+	if g := toneResponse(hp, 15, 50); math.Abs(g-1) > 0.05 {
+		t.Errorf("HP gain at 15 Hz = %v, want ~1", g)
+	}
+}
+
+func TestFIRApplyEmpty(t *testing.T) {
+	lp, _ := LowPassFIR(1, 50, 11, Hamming)
+	if out := lp.Apply(nil); out != nil {
+		t.Errorf("Apply(nil) = %v", out)
+	}
+}
+
+func TestStreamMatchesApply(t *testing.T) {
+	lp, err := LowPassFIR(2, 50, 31, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*0.7*float64(i)/50) + 0.3*math.Sin(2*math.Pi*9*float64(i)/50)
+	}
+	st := lp.Stream()
+	streamOut := make([]float64, n)
+	for i, v := range x {
+		streamOut[i] = st.Push(v)
+	}
+	// Stream output is causal: streamOut[i] corresponds to Apply output at
+	// i - groupDelay (Apply compensates the delay).
+	applied := lp.Apply(x)
+	d := lp.GroupDelay()
+	for i := d; i < n; i++ {
+		if !almostEq(streamOut[i], applied[i-d], 1e-9) {
+			t.Fatalf("stream[%d]=%v != applied[%d]=%v", i, streamOut[i], i-d, applied[i-d])
+		}
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	lp, _ := LowPassFIR(2, 50, 15, Hamming)
+	st := lp.Stream()
+	st.Push(100)
+	st.Push(-50)
+	st.Reset()
+	// After reset, pushing zeros yields zeros.
+	for i := 0; i < 20; i++ {
+		if out := st.Push(0); out != 0 {
+			t.Fatalf("post-reset output %v != 0", out)
+		}
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	const fs = 50.0
+	n := int(fs * 100)
+	x := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		x[i] = math.Sin(2*math.Pi*0.5*ts) + math.Sin(2*math.Pi*20*ts)
+	}
+	out, err := Decimate(x, fs, 5) // 10 Hz output; 20 Hz tone must vanish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n/5 {
+		t.Fatalf("decimated length = %d, want %d", len(out), n/5)
+	}
+	// The 0.5 Hz tone survives: RMS ≈ 1/√2.
+	var e float64
+	for _, v := range out[len(out)/4 : 3*len(out)/4] {
+		e += v * v
+	}
+	rms := math.Sqrt(e / float64(len(out)/2))
+	if math.Abs(rms-math.Sqrt2/2) > 0.05 {
+		t.Errorf("decimated RMS = %v, want ~0.707", rms)
+	}
+}
+
+func TestDecimateFactorOne(t *testing.T) {
+	x := []float64{1, 2, 3}
+	out, err := Decimate(x, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatalf("factor-1 decimate altered data")
+		}
+	}
+	// Must be a copy, not an alias.
+	out[0] = 99
+	if x[0] == 99 {
+		t.Error("factor-1 decimate aliases input")
+	}
+	if _, err := Decimate(x, 50, 0); err == nil {
+		t.Error("expected error for zero factor")
+	}
+}
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	const fs = 50.0
+	n := 500
+	x := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		x[i] = 2*math.Sin(2*math.Pi*5*ts) + 0.5*math.Sin(2*math.Pi*12*ts)
+	}
+	spec := PowerSpectrum(x)
+	k5 := FreqBin(5, n, fs)
+	g5 := Goertzel(x, 5, fs)
+	if !almostEq(g5, spec[k5], 1e-6*spec[k5]) {
+		t.Errorf("Goertzel(5Hz) = %v, FFT bin = %v", g5, spec[k5])
+	}
+	// Strong bin dominates weak bin.
+	if g12 := Goertzel(x, 12, fs); g5 < 10*g12 {
+		t.Errorf("expected 5 Hz power >> 12 Hz: %v vs %v", g5, g12)
+	}
+	if g := Goertzel(nil, 5, fs); g != 0 {
+		t.Errorf("Goertzel(nil) = %v", g)
+	}
+	if g := Goertzel(x, 5, 0); g != 0 {
+		t.Errorf("Goertzel with zero rate = %v", g)
+	}
+}

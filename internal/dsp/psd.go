@@ -1,0 +1,112 @@
+package dsp
+
+import "fmt"
+
+// WelchConfig configures Welch's averaged-periodogram PSD estimate.
+type WelchConfig struct {
+	// SegmentSize is the per-segment FFT length. Must be positive.
+	SegmentSize int
+	// Overlap is the number of overlapping samples between segments
+	// (default SegmentSize/2).
+	Overlap int
+	// Window tapers each segment (default Hann).
+	Window WindowType
+	// SampleRate in Hz. Must be positive.
+	SampleRate float64
+}
+
+// PSD is a one-sided power spectral density estimate.
+type PSD struct {
+	// Freqs[k] in Hz.
+	Freqs []float64
+	// Density[k] in signal-units²/Hz.
+	Density []float64
+	// Segments is the number of averaged periodogram segments.
+	Segments int
+}
+
+// Welch estimates the power spectral density of x by averaging windowed,
+// overlapping periodograms. At least one full segment is required.
+func Welch(x []float64, cfg WelchConfig) (*PSD, error) {
+	if err := mustPositive("Welch segment size", cfg.SegmentSize); err != nil {
+		return nil, err
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: Welch sample rate must be positive, got %g", cfg.SampleRate)
+	}
+	if cfg.Overlap == 0 {
+		cfg.Overlap = cfg.SegmentSize / 2
+	}
+	if cfg.Overlap < 0 || cfg.Overlap >= cfg.SegmentSize {
+		return nil, fmt.Errorf("dsp: Welch overlap %d must be in [0, %d)", cfg.Overlap, cfg.SegmentSize)
+	}
+	if len(x) < cfg.SegmentSize {
+		return nil, fmt.Errorf("dsp: Welch needs at least %d samples, got %d", cfg.SegmentSize, len(x))
+	}
+	if cfg.Window == Rectangular {
+		cfg.Window = Hann
+	}
+	win, err := Window(cfg.Window, cfg.SegmentSize)
+	if err != nil {
+		return nil, err
+	}
+	u := PowerGain(win) // window power normalization
+	hop := cfg.SegmentSize - cfg.Overlap
+	half := cfg.SegmentSize/2 + 1
+	acc := make([]float64, half)
+	segs := 0
+	for start := 0; start+cfg.SegmentSize <= len(x); start += hop {
+		seg, err := ApplyWindow(x[start:start+cfg.SegmentSize], win)
+		if err != nil {
+			return nil, err
+		}
+		ps := PowerSpectrum(seg)
+		for k := range acc {
+			acc[k] += ps[k]
+		}
+		segs++
+	}
+	psd := &PSD{
+		Freqs:    make([]float64, half),
+		Density:  make([]float64, half),
+		Segments: segs,
+	}
+	n := float64(cfg.SegmentSize)
+	norm := 1 / (cfg.SampleRate * n * u * float64(segs))
+	for k := 0; k < half; k++ {
+		psd.Freqs[k] = BinFreq(k, cfg.SegmentSize, cfg.SampleRate)
+		d := acc[k] * norm
+		// One-sided spectrum: double all bins except DC and Nyquist.
+		if k != 0 && !(cfg.SegmentSize%2 == 0 && k == half-1) {
+			d *= 2
+		}
+		psd.Density[k] = d
+	}
+	return psd, nil
+}
+
+// PeakFreq returns the frequency with the highest density.
+func (p *PSD) PeakFreq() float64 {
+	best := 0
+	for k := range p.Density {
+		if p.Density[k] > p.Density[best] {
+			best = k
+		}
+	}
+	return p.Freqs[best]
+}
+
+// BandPower integrates the density over [lo, hi) with the rectangle rule.
+func (p *PSD) BandPower(lo, hi float64) float64 {
+	if len(p.Freqs) < 2 {
+		return 0
+	}
+	df := p.Freqs[1] - p.Freqs[0]
+	var s float64
+	for k, f := range p.Freqs {
+		if f >= lo && f < hi {
+			s += p.Density[k] * df
+		}
+	}
+	return s
+}

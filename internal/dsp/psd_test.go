@@ -1,0 +1,98 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchPeakFrequency(t *testing.T) {
+	const fs = 50.0
+	n := int(fs * 400)
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		x[i] = 3*math.Sin(2*math.Pi*0.3*ts) + 0.1*rng.NormFloat64()
+	}
+	psd, err := Welch(x, WelchConfig{SegmentSize: 2048, SampleRate: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psd.Segments < 5 {
+		t.Errorf("segments = %d, want several", psd.Segments)
+	}
+	if pf := psd.PeakFreq(); math.Abs(pf-0.3) > 0.05 {
+		t.Errorf("peak frequency = %v, want ~0.3", pf)
+	}
+}
+
+func TestWelchPowerConservation(t *testing.T) {
+	// For a sinusoid of amplitude A, total band power ≈ A²/2.
+	const fs = 50.0
+	n := int(fs * 600)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2 * math.Sin(2*math.Pi*1.5*float64(i)/fs)
+	}
+	psd, err := Welch(x, WelchConfig{SegmentSize: 1024, SampleRate: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := psd.BandPower(0.5, 3)
+	if math.Abs(power-2) > 0.1 { // A²/2 = 2
+		t.Errorf("band power = %v, want ~2", power)
+	}
+}
+
+func TestWelchWhiteNoiseFlat(t *testing.T) {
+	const fs = 50.0
+	rng := rand.New(rand.NewSource(8))
+	n := int(fs * 2000)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	psd, err := Welch(x, WelchConfig{SegmentSize: 512, SampleRate: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise with unit variance: PSD ≈ 1/(fs/2) per Hz one-sided = 0.04.
+	want := 2.0 / fs
+	var sum float64
+	cnt := 0
+	for k, f := range psd.Freqs {
+		if f < 1 || f > 24 {
+			continue
+		}
+		sum += psd.Density[k]
+		cnt++
+	}
+	mean := sum / float64(cnt)
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Errorf("white-noise PSD level = %v, want ~%v", mean, want)
+	}
+}
+
+func TestWelchValidation(t *testing.T) {
+	x := make([]float64, 100)
+	if _, err := Welch(x, WelchConfig{SegmentSize: 0, SampleRate: 50}); err == nil {
+		t.Error("expected error for zero segment")
+	}
+	if _, err := Welch(x, WelchConfig{SegmentSize: 64, SampleRate: 0}); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if _, err := Welch(x, WelchConfig{SegmentSize: 64, Overlap: 64, SampleRate: 50}); err == nil {
+		t.Error("expected error for overlap == segment")
+	}
+	if _, err := Welch(x[:10], WelchConfig{SegmentSize: 64, SampleRate: 50}); err == nil {
+		t.Error("expected error for short input")
+	}
+}
+
+func TestPSDBandPowerDegenerate(t *testing.T) {
+	p := &PSD{Freqs: []float64{0}, Density: []float64{1}}
+	if bp := p.BandPower(0, 10); bp != 0 {
+		t.Errorf("single-bin band power = %v", bp)
+	}
+}

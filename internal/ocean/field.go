@@ -1,0 +1,205 @@
+package ocean
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// FieldConfig parametrizes a synthesized directional wave field.
+type FieldConfig struct {
+	// Spectrum supplies the 1-D energy density. Required.
+	Spectrum Spectrum
+	// NumFreqs components are drawn between MinFreq and MaxFreq.
+	NumFreqs int
+	// MinFreq and MaxFreq bound the discretization in Hz.
+	MinFreq, MaxFreq float64
+	// NumDirs directions are spread around MeanDir.
+	NumDirs int
+	// MeanDir is the dominant wave direction in radians.
+	MeanDir float64
+	// SpreadExp is the cosine-power spreading exponent s in
+	// D(θ) ∝ cos^{2s}((θ−MeanDir)/2). Higher is narrower. Default 1.
+	SpreadExp float64
+	// BuoyRadius models the hull's hydrodynamic low-pass response: a buoy
+	// of radius r does not follow waves much shorter than its own size,
+	// so each component's amplitude is scaled by exp(−(k·r)²). 0 disables
+	// (an ideal point follower).
+	BuoyRadius float64
+	// Seed makes the random phases reproducible.
+	Seed int64
+}
+
+func (c *FieldConfig) normalize() error {
+	if c.Spectrum == nil {
+		return fmt.Errorf("ocean: FieldConfig.Spectrum is required")
+	}
+	if c.NumFreqs == 0 {
+		c.NumFreqs = 64
+	}
+	if c.NumFreqs < 1 {
+		return fmt.Errorf("ocean: NumFreqs must be positive, got %d", c.NumFreqs)
+	}
+	if c.MinFreq == 0 && c.MaxFreq == 0 {
+		fp := c.Spectrum.PeakFreq()
+		c.MinFreq = fp / 4
+		c.MaxFreq = fp * 5
+	}
+	if c.MinFreq <= 0 || c.MaxFreq <= c.MinFreq {
+		return fmt.Errorf("ocean: need 0 < MinFreq < MaxFreq, got [%g, %g]", c.MinFreq, c.MaxFreq)
+	}
+	if c.NumDirs == 0 {
+		c.NumDirs = 8
+	}
+	if c.NumDirs < 1 {
+		return fmt.Errorf("ocean: NumDirs must be positive, got %d", c.NumDirs)
+	}
+	if c.SpreadExp == 0 {
+		c.SpreadExp = 1
+	}
+	if c.SpreadExp < 0 {
+		return fmt.Errorf("ocean: SpreadExp must be non-negative, got %g", c.SpreadExp)
+	}
+	if c.BuoyRadius < 0 {
+		return fmt.Errorf("ocean: BuoyRadius must be non-negative, got %g", c.BuoyRadius)
+	}
+	return nil
+}
+
+// component is one deterministic wave train of the synthesized field.
+type component struct {
+	amp   float64 // amplitude in meters
+	omega float64 // angular frequency rad/s
+	kx    float64 // wavenumber x component rad/m
+	ky    float64 // wavenumber y component rad/m
+	phase float64 // random phase offset rad
+}
+
+// Field is a frozen random realization of a directional sea. It is safe for
+// concurrent readers once constructed.
+type Field struct {
+	comps []component
+	cfg   FieldConfig
+}
+
+// NewField draws a random realization of the configured sea.
+func NewField(cfg FieldConfig) (*Field, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	df := (cfg.MaxFreq - cfg.MinFreq) / float64(cfg.NumFreqs)
+
+	// Directional weights D(θ) ∝ cos^{2s}(Δθ/2), normalized to sum 1.
+	dirs := make([]float64, cfg.NumDirs)
+	weights := make([]float64, cfg.NumDirs)
+	var wsum float64
+	for j := range dirs {
+		// Directions span ±90° around the mean direction.
+		frac := 0.5
+		if cfg.NumDirs > 1 {
+			frac = float64(j) / float64(cfg.NumDirs-1)
+		}
+		d := -math.Pi/2 + frac*math.Pi
+		dirs[j] = cfg.MeanDir + d
+		w := math.Pow(math.Cos(d/2), 2*cfg.SpreadExp)
+		weights[j] = w
+		wsum += w
+	}
+	for j := range weights {
+		weights[j] /= wsum
+	}
+
+	f := &Field{cfg: cfg, comps: make([]component, 0, cfg.NumFreqs*cfg.NumDirs)}
+	for i := 0; i < cfg.NumFreqs; i++ {
+		// Jitter the frequency within its bin to avoid periodic artifacts.
+		freq := cfg.MinFreq + (float64(i)+rng.Float64())*df
+		s := cfg.Spectrum.Density(freq)
+		if s <= 0 {
+			continue
+		}
+		omega := 2 * math.Pi * freq
+		k := WavenumberFor(freq)
+		hull := 1.0
+		if cfg.BuoyRadius > 0 {
+			kr := k * cfg.BuoyRadius
+			hull = math.Exp(-kr * kr)
+		}
+		for j := 0; j < cfg.NumDirs; j++ {
+			amp := hull * math.Sqrt(2*s*df*weights[j])
+			if amp == 0 {
+				continue
+			}
+			f.comps = append(f.comps, component{
+				amp:   amp,
+				omega: omega,
+				kx:    k * math.Cos(dirs[j]),
+				ky:    k * math.Sin(dirs[j]),
+				phase: rng.Float64() * 2 * math.Pi,
+			})
+		}
+	}
+	return f, nil
+}
+
+// NumComponents returns the number of deterministic wave trains.
+func (f *Field) NumComponents() int { return len(f.comps) }
+
+// Elevation returns the sea-surface elevation η in meters at p and time t.
+func (f *Field) Elevation(p geo.Vec2, t float64) float64 {
+	var e float64
+	for _, c := range f.comps {
+		e += c.amp * math.Cos(c.kx*p.X+c.ky*p.Y-c.omega*t+c.phase)
+	}
+	return e
+}
+
+// VerticalAccel returns ∂²η/∂t² in m/s² at p and time t — what an ideal
+// surface-following buoy's z accelerometer measures on top of gravity.
+func (f *Field) VerticalAccel(p geo.Vec2, t float64) float64 {
+	var a float64
+	for _, c := range f.comps {
+		a -= c.amp * c.omega * c.omega * math.Cos(c.kx*p.X+c.ky*p.Y-c.omega*t+c.phase)
+	}
+	return a
+}
+
+// Slope returns the surface gradient (∂η/∂x, ∂η/∂y) at p and time t; a
+// floating buoy tilts with the local slope, which couples gravity into its
+// x/y accelerometer axes.
+func (f *Field) Slope(p geo.Vec2, t float64) geo.Vec2 {
+	var sx, sy float64
+	for _, c := range f.comps {
+		s := -c.amp * math.Sin(c.kx*p.X+c.ky*p.Y-c.omega*t+c.phase)
+		sx += s * c.kx
+		sy += s * c.ky
+	}
+	return geo.Vec2{X: sx, Y: sy}
+}
+
+// SampleSurface returns the vertical acceleration and surface slope in a
+// single pass over the components (the sensor samples both every tick;
+// fusing the loops halves the dominant cost of large simulations).
+func (f *Field) SampleSurface(p geo.Vec2, t float64) (accel float64, slope geo.Vec2) {
+	for _, c := range f.comps {
+		phase := c.kx*p.X + c.ky*p.Y - c.omega*t + c.phase
+		sin, cos := math.Sincos(phase)
+		accel -= c.amp * c.omega * c.omega * cos
+		s := -c.amp * sin
+		slope.X += s * c.kx
+		slope.Y += s * c.ky
+	}
+	return accel, slope
+}
+
+// SignificantWaveHeight estimates Hs = 4·ση from the component amplitudes
+// (the theoretical value of the realized field, not a time-series estimate).
+func (f *Field) SignificantWaveHeight() float64 {
+	var variance float64
+	for _, c := range f.comps {
+		variance += c.amp * c.amp / 2
+	}
+	return 4 * math.Sqrt(variance)
+}

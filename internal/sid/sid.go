@@ -1,0 +1,565 @@
+// Package sid wires the SID pieces into the distributed system of the
+// paper's Algorithm SID: every node runs the adaptive node-level detector
+// (internal/detect) on its own simulated buoy; a node whose anomaly
+// frequency passes the threshold either sets up a temporary cluster
+// (flooding an invite within six hops and becoming the head) or reports to
+// the head it already belongs to; the head collects reports for a window,
+// cancels the cluster if too few arrive ("its positive finding may be a
+// false alarm"), otherwise runs the spatial/temporal correlation test
+// (internal/cluster) and, when the correlation coefficient passes, sends a
+// detection — with a ship speed/heading estimate when the four-node
+// condition is met (internal/speed) — to the sink over the routing tree.
+//
+// The runtime owns the whole simulated deployment: ocean field, ships,
+// buoys, sensors, clocks, radios, batteries, and the discrete-event
+// scheduler.
+package sid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sid-wsn/sid/internal/cluster"
+	"github.com/sid-wsn/sid/internal/detect"
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/ocean"
+	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/sim"
+	"github.com/sid-wsn/sid/internal/speed"
+	"github.com/sid-wsn/sid/internal/wake"
+	"github.com/sid-wsn/sid/internal/wsn"
+)
+
+// Message kinds used by the SID protocol.
+const (
+	KindInvite     = "sid.invite"
+	KindReport     = "sid.report"
+	KindSinkReport = "sid.sink"
+)
+
+// ReportPayload is a member's detection report to its temporary cluster
+// head (the paper: "it reports EΔ and the onset time").
+type ReportPayload struct {
+	Node   wsn.NodeID
+	Row    int
+	Pos    geo.Vec2
+	Onset  float64 // node-local clock time of onset
+	Energy float64
+}
+
+// SinkReport is what the sink finally receives for one confirmed intrusion.
+type SinkReport struct {
+	// Head is the temporary cluster head that confirmed the intrusion.
+	Head wsn.NodeID
+	// Time is the sink-local time of the report's arrival.
+	Time float64
+	// C is the correlation coefficient of the confirming evaluation.
+	C float64
+	// Reports is the number of member reports used.
+	Reports int
+	// MeanOnset is the average onset across reports (head-local time).
+	MeanOnset float64
+	// HasSpeed reports whether the four-node speed condition was met.
+	HasSpeed bool
+	// Speed is the estimated intruder speed in m/s (if HasSpeed).
+	Speed float64
+	// Heading is the estimated sailing-line angle in radians (if HasSpeed).
+	Heading float64
+}
+
+// Config assembles a full SID deployment.
+type Config struct {
+	// Grid is the manual buoy deployment (§III-A).
+	Grid geo.GridSpec
+	// Hs, Tp parametrize the ambient sea (Pierson–Moskowitz).
+	Hs, Tp float64
+	// Detect configures every node's detector.
+	Detect detect.Config
+	// Cluster configures the correlation test.
+	Cluster cluster.Config
+	// Radio configures the network links.
+	Radio wsn.RadioConfig
+	// ClusterHops is the temporary-cluster radius (6 in Algorithm SID).
+	ClusterHops int
+	// CollectWindow is how long a head collects reports before evaluating,
+	// in seconds. It must cover the wake's sweep across the deployment.
+	CollectWindow float64
+	// MinReports cancels the temporary cluster when fewer reports arrive
+	// ("if the cluster head has not received any reporting within a
+	// certain period of time, it will cancel the temporary cluster").
+	MinReports int
+	// SinkID designates the sink node (default 0).
+	SinkID wsn.NodeID
+	// DriftRadius is the buoy mooring drift in meters (2 in the paper).
+	DriftRadius float64
+	// BatteryJ equips each non-sink node with a battery when positive.
+	BatteryJ float64
+	// Energy is the per-operation cost model (used when BatteryJ > 0).
+	Energy wsn.EnergyConfig
+	// SampleBatch is the sensing granularity in seconds: nodes process
+	// their accumulated samples in batches this long (0.5 s default).
+	SampleBatch float64
+	// DutyCycle implements §IV-A's power management: the fraction of
+	// nodes that stay fully active as sentinels while the rest run a
+	// coarse mode ("some nodes in a group may keep active to perform a
+	// coarse detection while other nodes sleep"). Coarse nodes process
+	// only every fourth sampling batch — keeping their adaptive
+	// statistics warm at a quarter of the sensing energy — until a
+	// cluster invite wakes them to the full rate for the membership
+	// window ("upon a positive detection is made, sleeping nodes should
+	// be activated and increase the sampling rate"). 0 or 1 disables
+	// duty cycling (all nodes always on).
+	DutyCycle float64
+	// Seed drives every random stream in the deployment.
+	Seed int64
+}
+
+// DefaultConfig returns a 4×5 grid at 25 m spacing on a smooth sea with
+// the paper's algorithm parameters.
+func DefaultConfig() Config {
+	return Config{
+		Grid:          geo.GridSpec{Rows: 4, Cols: 5, Spacing: 25},
+		Hs:            0.25,
+		Tp:            4.0,
+		Detect:        detect.DefaultConfig(),
+		Cluster:       cluster.DefaultConfig(),
+		Radio:         wsn.DefaultRadioConfig(),
+		ClusterHops:   6,
+		CollectWindow: 90,
+		MinReports:    6,
+		SinkID:        0,
+		DriftRadius:   2,
+		SampleBatch:   0.5,
+	}
+}
+
+func (c Config) validate() error {
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.Hs <= 0 || c.Tp <= 0 {
+		return fmt.Errorf("sid: Hs and Tp must be positive, got %g, %g", c.Hs, c.Tp)
+	}
+	if c.ClusterHops <= 0 {
+		return fmt.Errorf("sid: ClusterHops must be positive, got %d", c.ClusterHops)
+	}
+	if c.CollectWindow <= 0 {
+		return fmt.Errorf("sid: CollectWindow must be positive, got %g", c.CollectWindow)
+	}
+	if c.MinReports < 1 {
+		return fmt.Errorf("sid: MinReports must be ≥ 1, got %d", c.MinReports)
+	}
+	if int(c.SinkID) < 0 || int(c.SinkID) >= c.Grid.NumNodes() {
+		return fmt.Errorf("sid: SinkID %d outside grid", c.SinkID)
+	}
+	if c.DriftRadius < 0 {
+		return fmt.Errorf("sid: DriftRadius must be non-negative, got %g", c.DriftRadius)
+	}
+	if c.SampleBatch <= 0 {
+		return fmt.Errorf("sid: SampleBatch must be positive, got %g", c.SampleBatch)
+	}
+	if c.DutyCycle < 0 || c.DutyCycle > 1 {
+		return fmt.Errorf("sid: DutyCycle must be in [0,1], got %g", c.DutyCycle)
+	}
+	return nil
+}
+
+// nodeState is the per-node SID protocol state (Algorithm SID's variables).
+type nodeState struct {
+	id   wsn.NodeID
+	row  int
+	pos  geo.Vec2
+	sens *sensor.Sensor
+	det  *detect.Detector
+
+	inTempCluster bool
+	headID        wsn.NodeID
+	membership    float64 // true time the membership expires
+
+	// sentinel marks nodes that stay awake under duty cycling; others
+	// sleep until an invite wakes them.
+	sentinel bool
+	awakeTil float64 // wake-on-invite expiry for non-sentinels
+
+	// head-only state
+	isHead   bool
+	reports  []cluster.Report
+	deadline float64
+}
+
+// Runtime is a running SID deployment.
+type Runtime struct {
+	cfg   Config
+	sched *sim.Scheduler
+	net   *wsn.Network
+	tree  *wsn.Tree
+	field *ocean.Field
+	model sensor.Composite
+	nodes []*nodeState
+
+	sinkReports []SinkReport
+	evaluations []Evaluation
+	// Cancelled counts temporary clusters cancelled as false alarms.
+	Cancelled int
+	// ClustersFormed counts temporary cluster setups.
+	ClustersFormed int
+}
+
+// NewRuntime builds the deployment: ocean, buoys, sensors, detectors,
+// network, routing tree, and time synchronization.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sched := sim.NewScheduler(cfg.Seed)
+	spec, err := ocean.NewPiersonMoskowitz(cfg.Hs, cfg.Tp)
+	if err != nil {
+		return nil, err
+	}
+	field, err := ocean.NewField(ocean.FieldConfig{Spectrum: spec, Seed: cfg.Seed ^ 0x0cea})
+	if err != nil {
+		return nil, err
+	}
+	positions := cfg.Grid.Positions()
+	net, err := wsn.NewNetwork(sched, positions, cfg.Radio)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:   cfg,
+		sched: sched,
+		net:   net,
+		field: field,
+		model: sensor.Composite{field},
+	}
+	seedRNG := sched.RNG("sid.nodes")
+	for i, pos := range positions {
+		id := wsn.NodeID(i)
+		row, _ := cfg.Grid.RowCol(i)
+		buoy := sensor.NewBuoy(sensor.BuoyConfig{
+			Anchor:      pos,
+			DriftRadius: cfg.DriftRadius,
+			Seed:        seedRNG.Int63(),
+		})
+		sens, err := sensor.NewSensor(buoy, sensor.DefaultAccelConfig())
+		if err != nil {
+			return nil, err
+		}
+		det, err := detect.New(cfg.Detect)
+		if err != nil {
+			return nil, err
+		}
+		ns := &nodeState{id: id, row: row, pos: pos, sens: sens, det: det, headID: -1, sentinel: true}
+		if cfg.DutyCycle > 0 && cfg.DutyCycle < 1 {
+			// Deterministic hash spreads the sentinel set over the grid.
+			h := (uint64(i)*2654435761 + uint64(cfg.Seed)) % 1000
+			ns.sentinel = float64(h) < cfg.DutyCycle*1000 || id == cfg.SinkID
+		}
+		r.nodes = append(r.nodes, ns)
+		node := net.MustNode(id)
+		if cfg.BatteryJ > 0 && id != cfg.SinkID {
+			b, err := wsn.NewBattery(cfg.BatteryJ, cfg.Energy)
+			if err != nil {
+				return nil, err
+			}
+			node.Battery = b
+		}
+		node.OnMessage = r.onMessage
+	}
+	tree, err := net.BuildTree(cfg.SinkID)
+	if err != nil {
+		return nil, err
+	}
+	r.tree = tree
+	net.EnableTimeSync()
+	if _, err := net.StartTimeSync(tree, 0.5); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AddShip introduces an intruder into the surface model.
+func (r *Runtime) AddShip(s *wake.Ship) {
+	r.model = append(r.model, wake.Field{Ship: s})
+}
+
+// Network exposes the underlying WSN (for fault injection in tests).
+func (r *Runtime) Network() *wsn.Network { return r.net }
+
+// Scheduler exposes the simulation clock.
+func (r *Runtime) Scheduler() *sim.Scheduler { return r.sched }
+
+// SinkReports returns the confirmed intrusions received by the sink so far.
+func (r *Runtime) SinkReports() []SinkReport { return r.sinkReports }
+
+// Evaluation records one temporary cluster head's deadline processing:
+// the reports it had collected and (when enough arrived) the correlation
+// result. Exposed for analysis and debugging of deployments.
+type Evaluation struct {
+	// Head is the temporary cluster head.
+	Head wsn.NodeID
+	// Reports are the collected member reports (own report included).
+	Reports []cluster.Report
+	// Result is the correlation outcome; zero when the cluster was
+	// cancelled for lack of reports before evaluating.
+	Result cluster.Result
+	// Err reports an evaluation failure (e.g. too few reports to fit a
+	// travel line).
+	Err error
+}
+
+// Evaluations returns every cluster-head evaluation so far, in order.
+func (r *Runtime) Evaluations() []Evaluation { return r.evaluations }
+
+// Run drives the deployment for dur seconds of simulated time: sampling,
+// detection, clustering, correlation, and sink reporting all happen inside.
+func (r *Runtime) Run(dur float64) error {
+	start := r.sched.Now()
+	end := start + dur
+	sampleRate := r.nodes[0].sens.Accel.SampleRate
+	perBatch := int(r.cfg.SampleBatch * sampleRate)
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	var batchAt func(t float64, sampleIdx int)
+	batchAt = func(t float64, sampleIdx int) {
+		for _, ns := range r.nodes {
+			r.processBatch(ns, t, sampleIdx, perBatch, sampleRate)
+		}
+		next := t + float64(perBatch)/sampleRate
+		if next < end {
+			_ = r.sched.Schedule(next, func() { batchAt(next, sampleIdx+perBatch) })
+		}
+	}
+	if err := r.sched.Schedule(start, func() { batchAt(start, 0) }); err != nil {
+		return err
+	}
+	r.sched.Run(end)
+	return nil
+}
+
+// processBatch feeds one node's detector with a batch of fresh samples and
+// reacts to completed anomaly windows.
+func (r *Runtime) processBatch(ns *nodeState, t float64, sampleIdx, perBatch int, rate float64) {
+	node := r.net.MustNode(ns.id)
+	if !node.Alive() {
+		return
+	}
+	if node.Battery != nil {
+		node.Battery.AccrueIdle(float64(perBatch) / rate)
+	}
+	// Duty cycling: non-sentinel nodes run coarse mode (every fourth
+	// batch) unless woken by an invite or active in a cluster.
+	now := r.sched.Now()
+	woken := now < ns.awakeTil || (ns.inTempCluster && now < ns.membership)
+	if !ns.sentinel && !woken && (sampleIdx/perBatch)%4 != 0 {
+		return
+	}
+	for k := 0; k < perBatch; k++ {
+		st := t + float64(k)/rate
+		smp := ns.sens.SampleAt(r.model, st)
+		if node.Battery != nil {
+			node.Battery.Consume(wsn.CostSample)
+		}
+		ws, done := ns.det.Push(st, float64(smp.Z))
+		if !done {
+			continue
+		}
+		if node.Battery != nil {
+			node.Battery.Consume(wsn.CostCPU)
+		}
+		if ns.det.Detected(ws) {
+			r.onNodeDetection(ns, node, ns.det.ReportOf(ws))
+		}
+	}
+}
+
+// onNodeDetection implements the DetectIntrusion branch of Algorithm SID.
+func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Report) {
+	now := r.sched.Now()
+	payload := ReportPayload{
+		Node:   ns.id,
+		Row:    ns.row,
+		Pos:    ns.pos,
+		Onset:  node.LocalTime(rep.Onset), // timestamps cross the network in local time
+		Energy: rep.Energy,
+	}
+	if ns.inTempCluster && now < ns.membership {
+		if ns.isHead {
+			r.acceptReport(ns, payload)
+			return
+		}
+		_ = r.net.SendMultiHop(ns.id, ns.headID, KindReport, payload)
+		return
+	}
+	// SetUpTempCluster: become head, invite neighbors within six hops.
+	ns.inTempCluster = true
+	ns.isHead = true
+	ns.headID = ns.id
+	ns.membership = now + r.cfg.CollectWindow
+	ns.deadline = ns.membership
+	ns.reports = ns.reports[:0]
+	r.ClustersFormed++
+	r.acceptReport(ns, payload)
+	_ = r.net.Flood(ns.id, r.cfg.ClusterHops, KindInvite, ns.id)
+	deadline := ns.deadline
+	_ = r.sched.Schedule(deadline, func() { r.headDeadline(ns, deadline) })
+}
+
+// onMessage dispatches SID protocol messages.
+func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
+	ns := r.nodes[node.ID]
+	switch msg.Kind {
+	case KindInvite:
+		head, ok := msg.Payload.(wsn.NodeID)
+		if !ok {
+			return
+		}
+		// Already in a cluster: keep the first membership (the paper does
+		// not merge clusters; extra invites are ignored).
+		if ns.inTempCluster && r.sched.Now() < ns.membership {
+			return
+		}
+		ns.inTempCluster = true
+		ns.isHead = false
+		ns.headID = head
+		ns.membership = r.sched.Now() + r.cfg.CollectWindow
+		ns.awakeTil = ns.membership // wake a sleeping node for the window
+	case KindReport:
+		payload, ok := msg.Payload.(ReportPayload)
+		if !ok {
+			return
+		}
+		if ns.isHead {
+			r.acceptReport(ns, payload)
+		}
+	case KindSinkReport:
+		payload, ok := msg.Payload.(SinkReport)
+		if !ok {
+			return
+		}
+		if node.ID == r.cfg.SinkID {
+			payload.Time = node.LocalTime(r.sched.Now())
+			r.sinkReports = append(r.sinkReports, payload)
+		}
+	}
+}
+
+// eventGap is the maximum onset separation (seconds) for two reports from
+// the same node to be considered observations of the same disturbance
+// event (a wake train seen by overlapping Δt windows) rather than separate
+// events.
+const eventGap = 15.0
+
+// acceptReport stores a member report at the head, deduplicating per node:
+// a node may cross the threshold in several windows — noise before the
+// wake, or the wake seen by overlapping windows. The highest-energy event
+// survives ("we only record the reports which have the highest detected
+// energy within the test period"), and within that event the earliest
+// onset is kept — the paper's onset is "the time when the signal first
+// exceeds the threshold", which is the wake-front arrival the speed
+// estimator needs.
+func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
+	for i := range head.reports {
+		if head.reports[i].Node == int(p.Node) {
+			cur := &head.reports[i]
+			sameEvent := math.Abs(p.Onset-cur.Onset) < eventGap
+			switch {
+			case p.Energy > cur.Energy && sameEvent:
+				cur.Energy = p.Energy
+				if p.Onset < cur.Onset {
+					cur.Onset = p.Onset
+				}
+			case p.Energy > cur.Energy:
+				cur.Energy = p.Energy
+				cur.Onset = p.Onset
+			case sameEvent && p.Onset < cur.Onset:
+				cur.Onset = p.Onset
+			}
+			return
+		}
+	}
+	head.reports = append(head.reports, cluster.Report{
+		Node:   int(p.Node),
+		Pos:    p.Pos,
+		Row:    p.Row,
+		Onset:  p.Onset,
+		Energy: p.Energy,
+	})
+}
+
+// headDeadline runs SpaceTimeDataProcessing when the collection window
+// closes.
+func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
+	if !ns.isHead || ns.deadline != deadline {
+		return
+	}
+	ns.isHead = false
+	ns.inTempCluster = false
+	ns.headID = -1
+	reports := ns.reports
+	ns.reports = nil
+	if len(reports) < r.cfg.MinReports {
+		r.Cancelled++
+		r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports})
+		return
+	}
+	res, err := cluster.Evaluate(reports, r.cfg.Cluster)
+	r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports, Result: res, Err: err})
+	if err != nil || !res.Detected {
+		r.Cancelled++
+		return
+	}
+	sink := SinkReport{
+		Head:      ns.id,
+		C:         res.C,
+		Reports:   len(reports),
+		MeanOnset: cluster.MeanOnset(reports),
+	}
+	// Ship speed condition: four suitable detections around the travel
+	// line (§IV-C2).
+	dets := make([]speed.Detection, len(reports))
+	for i, rep := range reports {
+		dets[i] = speed.Detection{Pos: rep.Pos, Time: rep.Onset, Energy: rep.Energy}
+	}
+	if est, err := speed.EstimateFromDetections(dets, res.TravelLine, r.cfg.Grid.Spacing); err == nil {
+		sink.HasSpeed = true
+		sink.Speed = est.Speed
+		sink.Heading = est.Alpha
+	}
+	_ = r.net.SendToRoot(r.tree, ns.id, KindSinkReport, sink)
+}
+
+// EnergyReport summarizes battery state across the deployment.
+type EnergyReport struct {
+	NodesWithBattery int
+	MeanFraction     float64
+	MinFraction      float64
+	DeadNodes        int
+}
+
+// Energy returns the current battery summary.
+func (r *Runtime) Energy() EnergyReport {
+	rep := EnergyReport{MinFraction: math.Inf(1)}
+	var sum float64
+	for _, n := range r.net.Nodes() {
+		if n.Battery == nil {
+			continue
+		}
+		rep.NodesWithBattery++
+		f := n.Battery.FractionRemaining()
+		sum += f
+		if f < rep.MinFraction {
+			rep.MinFraction = f
+		}
+		if n.Battery.Empty() {
+			rep.DeadNodes++
+		}
+	}
+	if rep.NodesWithBattery > 0 {
+		rep.MeanFraction = sum / float64(rep.NodesWithBattery)
+	} else {
+		rep.MinFraction = 0
+	}
+	return rep
+}

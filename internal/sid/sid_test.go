@@ -1,0 +1,309 @@
+package sid
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/wake"
+	"github.com/sid-wsn/sid/internal/wsn"
+)
+
+func TestConfigValidation(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := DefaultConfig()
+		mut(&c)
+		return c
+	}
+	bad := []Config{
+		mk(func(c *Config) { c.Grid.Rows = 0 }),
+		mk(func(c *Config) { c.Hs = 0 }),
+		mk(func(c *Config) { c.Tp = -1 }),
+		mk(func(c *Config) { c.ClusterHops = 0 }),
+		mk(func(c *Config) { c.CollectWindow = 0 }),
+		mk(func(c *Config) { c.MinReports = 0 }),
+		mk(func(c *Config) { c.SinkID = 99 }),
+		mk(func(c *Config) { c.SinkID = -1 }),
+		mk(func(c *Config) { c.DriftRadius = -1 }),
+		mk(func(c *Config) { c.SampleBatch = 0 }),
+	}
+	for i, c := range bad {
+		if _, err := NewRuntime(c); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// crossGridShip returns a ship crossing the grid perpendicular to its rows
+// (heading +Y), passing between grid columns, with the wake front reaching
+// the grid around tArrive.
+func crossGridShip(t *testing.T, cfg Config, knots, tArrive float64) *wake.Ship {
+	t.Helper()
+	center := cfg.Grid.Center()
+	track := geo.NewLine(geo.Vec2{X: center.X + cfg.Grid.Spacing/2, Y: -200}, geo.Vec2{X: 0, Y: 1})
+	ship, err := wake.NewShip(track, geo.Knots(knots), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift Time0 so the front reaches the grid center around tArrive.
+	ship.Time0 = tArrive - (ship.ArrivalTime(center) - ship.Time0)
+	return ship
+}
+
+func TestQuietSeaNoSinkReports(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 101
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rt.SinkReports()); n != 0 {
+		t.Errorf("quiet sea produced %d sink reports: %+v", n, rt.SinkReports())
+	}
+}
+
+func TestShipCrossingConfirmedAtSink(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 102
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 150))
+	if err := rt.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	reports := rt.SinkReports()
+	if len(reports) == 0 {
+		t.Fatalf("ship crossing produced no sink reports (clusters formed: %d, cancelled: %d)",
+			rt.ClustersFormed, rt.Cancelled)
+	}
+	r := reports[0]
+	if r.C < cfg.Cluster.CThreshold {
+		t.Errorf("confirmed C = %v below threshold", r.C)
+	}
+	if r.Reports < cfg.MinReports {
+		t.Errorf("confirmed with %d reports < MinReports %d", r.Reports, cfg.MinReports)
+	}
+	// Onsets should be in the neighborhood of the crossing.
+	if r.MeanOnset < 100 || r.MeanOnset > 320 {
+		t.Errorf("mean onset %v outside the crossing window", r.MeanOnset)
+	}
+}
+
+func TestSpeedEstimateAtSink(t *testing.T) {
+	// A larger grid so the four-node configuration exists around the
+	// track; the estimate should land within ~25% of truth (paper: 20%
+	// plus our sea/noise).
+	cfg := DefaultConfig()
+	cfg.Grid = geo.GridSpec{Rows: 6, Cols: 6, Spacing: 25}
+	cfg.Seed = 103
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 150))
+	if err := rt.Run(450); err != nil {
+		t.Fatal(err)
+	}
+	var est *SinkReport
+	for i := range rt.SinkReports() {
+		if rt.SinkReports()[i].HasSpeed {
+			est = &rt.SinkReports()[i]
+			break
+		}
+	}
+	if est == nil {
+		t.Fatalf("no sink report carried a speed estimate (reports: %+v)", rt.SinkReports())
+	}
+	truth := geo.Knots(10)
+	if math.Abs(est.Speed-truth)/truth > 0.25 {
+		t.Errorf("speed estimate %v kn, truth 10 kn", geo.ToKnots(est.Speed))
+	}
+}
+
+func TestClusterCancelledWithoutCorroboration(t *testing.T) {
+	// Kill every node except one row's worth: a single detector can form
+	// a cluster but never gather MinReports, so the cluster cancels.
+	cfg := DefaultConfig()
+	cfg.Seed = 104
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail all but 3 nodes (MinReports is 4).
+	for id := 3; id < cfg.Grid.NumNodes(); id++ {
+		rt.Network().MustNode(wsn.NodeID(id)).Fail()
+	}
+	rt.AddShip(crossGridShip(t, cfg, 16, 120))
+	if err := rt.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.SinkReports()) != 0 {
+		t.Errorf("under-corroborated intrusion reached the sink: %+v", rt.SinkReports())
+	}
+	if rt.ClustersFormed == 0 {
+		t.Skip("no node detected at all with 3 survivors — nothing to cancel")
+	}
+	if rt.Cancelled == 0 {
+		t.Error("expected cluster cancellations")
+	}
+}
+
+func TestPacketLossStillDetects(t *testing.T) {
+	// 20% frame loss with retries: the cluster protocol must still
+	// assemble enough reports.
+	cfg := DefaultConfig()
+	cfg.Radio.LossProb = 0.2
+	cfg.Radio.Retries = 3
+	cfg.Seed = 105
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 150))
+	if err := rt.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.SinkReports()) == 0 {
+		t.Errorf("detection lost to packet loss (formed %d, cancelled %d, net stats %+v)",
+			rt.ClustersFormed, rt.Cancelled, rt.Network().Stats)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatteryJ = 50
+	cfg.Energy = wsn.DefaultEnergyConfig()
+	cfg.Seed = 106
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 100))
+	if err := rt.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	e := rt.Energy()
+	if e.NodesWithBattery != cfg.Grid.NumNodes()-1 {
+		t.Errorf("NodesWithBattery = %d", e.NodesWithBattery)
+	}
+	if e.MeanFraction >= 1 || e.MeanFraction <= 0 {
+		t.Errorf("MeanFraction = %v, want in (0,1)", e.MeanFraction)
+	}
+	if e.DeadNodes != 0 {
+		t.Errorf("nodes died unexpectedly: %d", e.DeadNodes)
+	}
+	// Sampling dominates: 200 s × 50 Hz × 20 µJ = 0.2 J per node, plus
+	// idle 0.4 J; battery must have drained measurably.
+	if e.MinFraction > 0.999 {
+		t.Errorf("batteries barely used: %v", e.MinFraction)
+	}
+}
+
+func TestReproducibleRuns(t *testing.T) {
+	run := func() []SinkReport {
+		cfg := DefaultConfig()
+		cfg.Seed = 107
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.AddShip(crossGridShip(t, cfg, 10, 120))
+		if err := rt.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		return rt.SinkReports()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in report count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTwoShipsTwoDetections(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Grid = geo.GridSpec{Rows: 5, Cols: 5, Spacing: 25}
+	cfg.Seed = 108
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 150))
+	rt.AddShip(crossGridShip(t, cfg, 16, 500))
+	if err := rt.Run(800); err != nil {
+		t.Fatal(err)
+	}
+	reports := rt.SinkReports()
+	if len(reports) < 2 {
+		t.Fatalf("expected ≥2 confirmed intrusions, got %d (formed %d, cancelled %d)",
+			len(reports), rt.ClustersFormed, rt.Cancelled)
+	}
+	// The two confirmations should be well separated in time.
+	var onsets []float64
+	for _, r := range reports {
+		onsets = append(onsets, r.MeanOnset)
+	}
+	spread := 0.0
+	for _, o := range onsets {
+		for _, p := range onsets {
+			if d := math.Abs(o - p); d > spread {
+				spread = d
+			}
+		}
+	}
+	if spread < 200 {
+		t.Errorf("confirmations not separated: onsets %v", onsets)
+	}
+}
+
+func TestDutyCycleSavesEnergyAndStillDetects(t *testing.T) {
+	run := func(duty float64) (detections int, meanBattery float64) {
+		cfg := DefaultConfig()
+		cfg.Grid = geo.GridSpec{Rows: 5, Cols: 5, Spacing: 25}
+		cfg.DutyCycle = duty
+		cfg.BatteryJ = 100
+		cfg.Energy = wsn.DefaultEnergyConfig()
+		cfg.Seed = 202
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.AddShip(crossGridShip(t, cfg, 10, 150))
+		if err := rt.Run(400); err != nil {
+			t.Fatal(err)
+		}
+		return len(rt.SinkReports()), rt.Energy().MeanFraction
+	}
+	fullDet, fullBat := run(0) // duty cycling disabled
+	dutyDet, dutyBat := run(0.5)
+	if fullDet == 0 {
+		t.Fatal("always-on deployment missed the ship")
+	}
+	if dutyDet == 0 {
+		t.Error("duty-cycled deployment missed the ship (wake-on-invite broken?)")
+	}
+	if dutyBat <= fullBat {
+		t.Errorf("duty cycling saved no energy: duty=%v full=%v", dutyBat, fullBat)
+	}
+}
+
+func TestDutyCycleValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DutyCycle = 1.5
+	if _, err := NewRuntime(cfg); err == nil {
+		t.Error("expected error for DutyCycle > 1")
+	}
+	cfg.DutyCycle = -0.1
+	if _, err := NewRuntime(cfg); err == nil {
+		t.Error("expected error for negative DutyCycle")
+	}
+}

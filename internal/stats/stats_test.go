@@ -1,0 +1,274 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, d := MeanStd(xs)
+	if !almostEq(m, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if !almostEq(d, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", d)
+	}
+}
+
+func TestMeanStdEmpty(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if d := StdDev(nil); d != 0 {
+		t.Errorf("StdDev(nil) = %v", d)
+	}
+	if r := RMS(nil); r != 0 {
+		t.Errorf("RMS(nil) = %v", r)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %v, %v", min, max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{-0.5, 1}, {1.5, 5}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); !almostEq(got, 1.5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 1.5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if r := RMS([]float64{3, 4, 3, 4}); !almostEq(r, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %v", r)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2.25, 3.75, 0, 10, -7.5, 2.125}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Mean = %v, want %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Std(), StdDev(xs), 1e-12) {
+		t.Errorf("Std = %v, want %v", w.Std(), StdDev(xs))
+	}
+}
+
+func TestWelfordSampleVar(t *testing.T) {
+	var w Welford
+	if w.Var() != 0 || w.SampleVar() != 0 {
+		t.Error("empty Welford should report zero variance")
+	}
+	w.Add(5)
+	if w.SampleVar() != 0 {
+		t.Error("single-sample SampleVar should be 0")
+	}
+	w.Add(7)
+	if !almostEq(w.SampleVar(), 2, 1e-12) {
+		t.Errorf("SampleVar = %v, want 2", w.SampleVar())
+	}
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		scale := 1 + math.Abs(Mean(xs)) + StdDev(xs)
+		return almostEq(w.Mean(), Mean(xs), 1e-8*scale) &&
+			almostEq(w.Std(), StdDev(xs), 1e-6*scale)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewMovingValidation(t *testing.T) {
+	for _, pair := range [][2]float64{{0, 0.5}, {1, 0.5}, {0.5, 0}, {0.5, 1}, {-1, 0.5}, {0.5, 2}} {
+		if _, err := NewMoving(pair[0], pair[1]); err == nil {
+			t.Errorf("expected error for betas %v", pair)
+		}
+	}
+	if _, err := NewMoving(0.99, 0.99); err != nil {
+		t.Errorf("valid betas rejected: %v", err)
+	}
+}
+
+func TestMovingFirstWindowInitializes(t *testing.T) {
+	mv, err := NewMoving(0.99, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Initialized() {
+		t.Error("should not be initialized before first update")
+	}
+	mv.Update(10, 2)
+	if !mv.Initialized() {
+		t.Error("should be initialized after first update")
+	}
+	if mv.Mean() != 10 || mv.Std() != 2 {
+		t.Errorf("first window should initialize directly: %v, %v", mv.Mean(), mv.Std())
+	}
+}
+
+func TestMovingEWMA(t *testing.T) {
+	mv, _ := NewMoving(0.9, 0.8)
+	mv.Update(10, 2)
+	mv.Update(20, 4)
+	if !almostEq(mv.Mean(), 0.9*10+0.1*20, 1e-12) {
+		t.Errorf("Mean = %v", mv.Mean())
+	}
+	if !almostEq(mv.Std(), 0.8*2+0.2*4, 1e-12) {
+		t.Errorf("Std = %v", mv.Std())
+	}
+}
+
+func TestMovingReinit(t *testing.T) {
+	mv, _ := NewMoving(0.99, 0.99)
+	mv.Update(1, 0.1)
+	mv.Reinit(50, 5)
+	if mv.Mean() != 50 || mv.Std() != 5 {
+		t.Errorf("Reinit: mean=%v std=%v", mv.Mean(), mv.Std())
+	}
+	if !mv.Initialized() {
+		t.Error("Reinit should mark initialized")
+	}
+	// A fresh Moving can also be Reinit'd directly.
+	mv2, _ := NewMoving(0.99, 0.99)
+	mv2.Reinit(3, 1)
+	if !mv2.Initialized() || mv2.Mean() != 3 {
+		t.Error("Reinit on fresh Moving failed")
+	}
+}
+
+func TestMovingConvergesToStationary(t *testing.T) {
+	// Feeding a constant (m, d) forever must converge to exactly that.
+	mv, _ := NewMoving(0.99, 0.99)
+	mv.Update(5, 1) // seed with something else first
+	for i := 0; i < 3000; i++ {
+		mv.Update(42, 7)
+	}
+	if !almostEq(mv.Mean(), 42, 1e-6) || !almostEq(mv.Std(), 7, 1e-6) {
+		t.Errorf("did not converge: mean=%v std=%v", mv.Mean(), mv.Std())
+	}
+}
+
+func TestMovingTracksSlowChange(t *testing.T) {
+	// The adaptive threshold's purpose: follow a slowly rising sea state.
+	mv, _ := NewMoving(0.99, 0.99)
+	mv.Update(1, 0.1)
+	var last float64
+	for i := 0; i < 2000; i++ {
+		target := 1 + float64(i)*0.001
+		mv.Update(target, 0.1)
+		last = target
+	}
+	if math.Abs(mv.Mean()-last) > 0.2 {
+		t.Errorf("moving mean lagging too far: %v vs %v", mv.Mean(), last)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 3, 3.5, 9.9, -5, 15} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	// -5 clamps into bin 0; 15 clamps into bin 4.
+	if h.Counts[0] != 3 { // 0.5, 1, -5
+		t.Errorf("bin0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 15
+		t.Errorf("bin4 = %d, want 2", h.Counts[4])
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if !almostEq(h.Mode(), 1, 1e-12) {
+		t.Errorf("Mode = %v", h.Mode())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("expected error for empty range")
+	}
+	if _, err := NewHistogram(6, 5, 3); err == nil {
+		t.Error("expected error for inverted range")
+	}
+}
+
+func TestHistogramTotalPreserved(t *testing.T) {
+	h, _ := NewHistogram(-1, 1, 8)
+	for i := 0; i < 1000; i++ {
+		h.Add(math.Sin(float64(i)) * 2) // half the values out of range
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 1000 || h.N() != 1000 {
+		t.Errorf("counts lost: total=%d N=%d", total, h.N())
+	}
+}

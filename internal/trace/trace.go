@@ -1,0 +1,220 @@
+// Package trace defines the accelerometer trace format the project uses in
+// place of the paper's proprietary sea-trial recordings: a self-describing
+// binary container (and a CSV form for interoperability) holding one
+// buoy's three-axis samples plus the metadata needed to replay them
+// through the detection pipeline — sample rate, sensor scale, deployment
+// position, and the generating scenario's seed for provenance.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sensor"
+)
+
+// Magic identifies the binary trace format ("SIDTRACE", 8 bytes).
+var Magic = [8]byte{'S', 'I', 'D', 'T', 'R', 'C', '0', '1'}
+
+// Header describes a recording.
+type Header struct {
+	// SampleRate in Hz.
+	SampleRate float64
+	// CountsPerG is the ADC scale.
+	CountsPerG float64
+	// Pos is the buoy's assigned position.
+	Pos geo.Vec2
+	// StartTime is the recording's first sample time in seconds.
+	StartTime float64
+	// Seed is the generating scenario's seed (0 for real data).
+	Seed int64
+	// NumSamples is the sample count that follows.
+	NumSamples int
+}
+
+func (h Header) validate() error {
+	if h.SampleRate <= 0 {
+		return fmt.Errorf("trace: sample rate must be positive, got %g", h.SampleRate)
+	}
+	if h.CountsPerG <= 0 {
+		return fmt.Errorf("trace: counts-per-g must be positive, got %g", h.CountsPerG)
+	}
+	if h.NumSamples < 0 {
+		return fmt.Errorf("trace: negative sample count %d", h.NumSamples)
+	}
+	return nil
+}
+
+// Write serializes a trace: header followed by x/y/z int16 triplets.
+// Sample times are implicit (StartTime + i/SampleRate); the samples' own
+// T fields are not stored.
+func Write(w io.Writer, h Header, samples []sensor.Sample) error {
+	h.NumSamples = len(samples)
+	if err := h.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	fields := []interface{}{
+		h.SampleRate, h.CountsPerG, h.Pos.X, h.Pos.Y, h.StartTime, h.Seed, int64(h.NumSamples),
+	}
+	for _, f := range fields {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	for _, s := range samples {
+		if err := binary.Write(bw, binary.LittleEndian, [3]int16{s.X, s.Y, s.Z}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write, reconstructing sample times.
+func Read(r io.Reader) (Header, []sensor.Sample, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return Header{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return Header{}, nil, errors.New("trace: bad magic (not a SID trace)")
+	}
+	var h Header
+	var n int64
+	for _, f := range []interface{}{
+		&h.SampleRate, &h.CountsPerG, &h.Pos.X, &h.Pos.Y, &h.StartTime, &h.Seed, &n,
+	} {
+		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+			return Header{}, nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	h.NumSamples = int(n)
+	if err := h.validate(); err != nil {
+		return Header{}, nil, err
+	}
+	const maxSamples = 1 << 28 // guard against corrupted headers
+	if h.NumSamples > maxSamples {
+		return Header{}, nil, fmt.Errorf("trace: implausible sample count %d", h.NumSamples)
+	}
+	samples := make([]sensor.Sample, h.NumSamples)
+	for i := range samples {
+		var triple [3]int16
+		if err := binary.Read(br, binary.LittleEndian, &triple); err != nil {
+			return Header{}, nil, fmt.Errorf("trace: reading sample %d: %w", i, err)
+		}
+		samples[i] = sensor.Sample{
+			T: h.StartTime + float64(i)/h.SampleRate,
+			X: triple[0], Y: triple[1], Z: triple[2],
+		}
+	}
+	return h, samples, nil
+}
+
+// WriteCSV emits the trace as CSV with a comment header, one row per
+// sample: t,x,y,z.
+func WriteCSV(w io.Writer, h Header, samples []sensor.Sample) error {
+	h.NumSamples = len(samples)
+	if err := h.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	_, err := fmt.Fprintf(bw, "# sid-trace rate=%g countsPerG=%g posX=%g posY=%g start=%g seed=%d\n",
+		h.SampleRate, h.CountsPerG, h.Pos.X, h.Pos.Y, h.StartTime, h.Seed)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "t,x,y,z"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(bw, "%.4f,%d,%d,%d\n", s.T, s.X, s.Y, s.Z); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the CSV form produced by WriteCSV.
+func ReadCSV(r io.Reader) (Header, []sensor.Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var h Header
+	var samples []sensor.Sample
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		lineNo++
+		switch {
+		case line == "" || line == "t,x,y,z":
+			continue
+		case strings.HasPrefix(line, "#"):
+			if err := parseCSVHeader(line, &h); err != nil {
+				return Header{}, nil, err
+			}
+		default:
+			parts := strings.Split(line, ",")
+			if len(parts) != 4 {
+				return Header{}, nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(parts))
+			}
+			t, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return Header{}, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			var xyz [3]int16
+			for i := 0; i < 3; i++ {
+				v, err := strconv.ParseInt(parts[i+1], 10, 16)
+				if err != nil {
+					return Header{}, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+				}
+				xyz[i] = int16(v)
+			}
+			samples = append(samples, sensor.Sample{T: t, X: xyz[0], Y: xyz[1], Z: xyz[2]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Header{}, nil, err
+	}
+	h.NumSamples = len(samples)
+	if err := h.validate(); err != nil {
+		return Header{}, nil, err
+	}
+	return h, samples, nil
+}
+
+func parseCSVHeader(line string, h *Header) error {
+	for _, tok := range strings.Fields(line) {
+		kv := strings.SplitN(tok, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		var err error
+		switch kv[0] {
+		case "rate":
+			h.SampleRate, err = strconv.ParseFloat(kv[1], 64)
+		case "countsPerG":
+			h.CountsPerG, err = strconv.ParseFloat(kv[1], 64)
+		case "posX":
+			h.Pos.X, err = strconv.ParseFloat(kv[1], 64)
+		case "posY":
+			h.Pos.Y, err = strconv.ParseFloat(kv[1], 64)
+		case "start":
+			h.StartTime, err = strconv.ParseFloat(kv[1], 64)
+		case "seed":
+			h.Seed, err = strconv.ParseInt(kv[1], 10, 64)
+		}
+		if err != nil {
+			return fmt.Errorf("trace: header field %s: %w", kv[0], err)
+		}
+	}
+	return nil
+}

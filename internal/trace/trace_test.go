@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sensor"
+)
+
+func sampleTrace() (Header, []sensor.Sample) {
+	h := Header{
+		SampleRate: 50,
+		CountsPerG: 1024,
+		Pos:        geo.Vec2{X: 25, Y: 50},
+		StartTime:  100,
+		Seed:       42,
+	}
+	samples := []sensor.Sample{
+		{T: 100.00, X: 1, Y: -2, Z: 1024},
+		{T: 100.02, X: 15, Y: 3, Z: 1100},
+		{T: 100.04, X: -7, Y: 0, Z: 950},
+	}
+	return h, samples
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	h, samples := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, h, samples); err != nil {
+		t.Fatal(err)
+	}
+	h2, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.SampleRate != h.SampleRate || h2.CountsPerG != h.CountsPerG ||
+		h2.Pos != h.Pos || h2.StartTime != h.StartTime || h2.Seed != h.Seed {
+		t.Errorf("header mismatch: %+v vs %+v", h2, h)
+	}
+	if h2.NumSamples != len(samples) {
+		t.Errorf("NumSamples = %d", h2.NumSamples)
+	}
+	for i := range samples {
+		if got[i].X != samples[i].X || got[i].Y != samples[i].Y || got[i].Z != samples[i].Z {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], samples[i])
+		}
+		if math.Abs(got[i].T-samples[i].T) > 1e-9 {
+			t.Errorf("sample %d time = %v, want %v", i, got[i].T, samples[i].T)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(xs []int16, seed int64) bool {
+		h := Header{SampleRate: 50, CountsPerG: 1024, StartTime: 7, Seed: seed}
+		samples := make([]sensor.Sample, len(xs))
+		for i, x := range xs {
+			samples[i] = sensor.Sample{X: x, Y: -x, Z: x / 2}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, h, samples); err != nil {
+			return false
+		}
+		_, got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(samples) {
+			return false
+		}
+		for i := range got {
+			if got[i].X != samples[i].X || got[i].Y != samples[i].Y || got[i].Z != samples[i].Z {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("NOTATRACEFILE..."))); err == nil {
+		t.Error("expected bad-magic error")
+	}
+	if _, _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	h, samples := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, h, samples); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{9, 20, len(data) - 3} {
+		if _, _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{SampleRate: 0, CountsPerG: 1024}, nil); err == nil {
+		t.Error("expected error for zero rate")
+	}
+	if err := Write(&buf, Header{SampleRate: 50, CountsPerG: 0}, nil); err == nil {
+		t.Error("expected error for zero scale")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	h, samples := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, h, samples); err != nil {
+		t.Fatal(err)
+	}
+	h2, got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.SampleRate != 50 || h2.CountsPerG != 1024 || h2.Seed != 42 ||
+		h2.Pos != (geo.Vec2{X: 25, Y: 50}) || h2.StartTime != 100 {
+		t.Errorf("CSV header = %+v", h2)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("samples = %d", len(got))
+	}
+	for i := range samples {
+		if got[i].X != samples[i].X || got[i].Z != samples[i].Z {
+			t.Errorf("sample %d = %+v", i, got[i])
+		}
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"# sid-trace rate=50 countsPerG=1024\n1,2,3\n",         // 3 fields
+		"# sid-trace rate=50 countsPerG=1024\nx,2,3,4\n",       // bad float
+		"# sid-trace rate=50 countsPerG=1024\n1.0,a,3,4\n",     // bad int
+		"# sid-trace rate=50 countsPerG=1024\n1.0,99999,3,4\n", // int16 overflow
+		"# sid-trace rate=bogus countsPerG=1024\n",             // bad header
+		"1.0,1,2,3\n", // no header
+	}
+	for i, s := range bad {
+		if _, _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestCSVSkipsBlankAndColumnHeader(t *testing.T) {
+	in := "# sid-trace rate=50 countsPerG=1024 posX=1 posY=2 start=0 seed=9\n\nt,x,y,z\n0.00,1,2,3\n"
+	h, samples, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || h.Seed != 9 {
+		t.Errorf("h=%+v samples=%v", h, samples)
+	}
+}

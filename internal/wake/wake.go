@@ -1,0 +1,285 @@
+// Package wake models the V-shaped Kelvin wake a moving ship leaves on deep
+// water — the physical phenomenon SID detects (§II of the paper). It stands
+// in for the paper's real ship passes (a fishing boat at 10 and 16 knots).
+//
+// The model implements the published relations the paper builds on:
+//
+//   - Kelvin geometry: the cusp locus trails the ship at 19°28′ from the
+//     sailing line regardless of ship size or speed; diverging wave crests
+//     meet the cusp locus at 54°44′.
+//   - Decay (eq. 1): the maximum wave height of the divergent (cusp) waves
+//     decays as Hm = c·d^(−1/3) with distance d from the sailing line;
+//     transverse waves decay faster, as d^(−1/2), so only divergent waves
+//     are observable far from the vessel.
+//   - Wake wave speed (eq. 2): W_v = V·cosΘ with
+//     Θ = 35.27°·(1 − e^{12(F_d − 1)}), F_d the ship's Froude number.
+//   - Finite duration: at a fixed point the wake is a short train of waves
+//     (2–3 s at 25 m in the paper's observation), modeled as a
+//     Gaussian-enveloped packet whose width grows slowly with distance
+//     (frequency dispersion).
+package wake
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/ocean"
+)
+
+// Kelvin wake geometry constants.
+var (
+	// KelvinHalfAngle is the half-angle of the wake V: 19°28′.
+	KelvinHalfAngle = geo.Deg(19 + 28.0/60)
+	// CuspCrestAngle is the angle between the sailing line and the
+	// diverging wave crests at the cusp locus: 54°44′.
+	CuspCrestAngle = geo.Deg(54 + 44.0/60)
+	// ThetaMax is the 35.27° factor in the wake wave speed equation.
+	ThetaMax = geo.Deg(35.27)
+)
+
+// Ship is a vessel moving at constant speed along a sailing line.
+type Ship struct {
+	// Track is the directed sailing line.
+	Track geo.Line
+	// Speed is the ship speed V in m/s. Must be positive.
+	Speed float64
+	// Time0 is the simulation time at which the ship is at Track.Origin.
+	Time0 float64
+	// Length is the waterline hull length in meters, used for the Froude
+	// number. Must be positive.
+	Length float64
+	// WaveCoeff is c in eq. (1), Hm = c·d^(−1/3), in m^(4/3). It captures
+	// hull shape and speed-dependent wave-making; 1.5 yields ~0.5 m cusp
+	// value for a small planing fishing boat.
+	WaveCoeff float64
+	// BaseDuration is the wave-train duration observed at the reference
+	// distance of 25 m, in seconds (the paper observed 2–3 s; default 2.5).
+	BaseDuration float64
+}
+
+// NewShip validates and returns a ship. Zero WaveCoeff defaults to 1.5 and
+// zero BaseDuration to 2.5 s.
+func NewShip(track geo.Line, speed, length float64) (*Ship, error) {
+	if speed <= 0 {
+		return nil, fmt.Errorf("wake: ship speed must be positive, got %g", speed)
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("wake: ship length must be positive, got %g", length)
+	}
+	return &Ship{
+		Track:        track,
+		Speed:        speed,
+		Length:       length,
+		WaveCoeff:    1.5,
+		BaseDuration: 2.5,
+	}, nil
+}
+
+// Position returns the ship position at time t.
+func (s *Ship) Position(t float64) geo.Vec2 {
+	return s.Track.At(s.Speed * (t - s.Time0))
+}
+
+// FroudeNumber returns F_d = V / sqrt(g·L).
+func (s *Ship) FroudeNumber() float64 {
+	return s.Speed / math.Sqrt(ocean.Gravity*s.Length)
+}
+
+// Theta returns Θ = 35.27°·(1 − e^{12(F_d−1)}) in radians (eq. 2), clamped
+// to [0, 35.27°] for super-critical Froude numbers.
+func (s *Ship) Theta() float64 {
+	th := ThetaMax * (1 - math.Exp(12*(s.FroudeNumber()-1)))
+	if th < 0 {
+		th = 0
+	}
+	return th
+}
+
+// WakeWaveSpeed returns W_v = V·cosΘ (eq. 2), the propagation speed of the
+// divergent wake waves.
+func (s *Ship) WakeWaveSpeed() float64 {
+	return s.Speed * math.Cos(s.Theta())
+}
+
+// WakeFreq returns the frequency (Hz) of the divergent wake waves observed
+// at a fixed point: the deep-water wave whose phase speed equals the wake
+// wave speed. For small craft this lands in the 0.3–1 Hz band, above the
+// swell peak but below the node's 1 Hz low-pass cutoff — the spectral
+// signature of Figs. 6 and 7.
+func (s *Ship) WakeFreq() float64 {
+	return ocean.FreqForPhaseSpeed(s.WakeWaveSpeed())
+}
+
+// TransverseFreq returns the frequency of the transverse wake waves, whose
+// phase speed matches the ship speed.
+func (s *Ship) TransverseFreq() float64 {
+	return ocean.FreqForPhaseSpeed(s.Speed)
+}
+
+// refSpeed is the speed at which WaveCoeff applies directly; the paper's
+// eq. (1) notes c is "a parameter related to the speed of the passing
+// ship", and wake height grows roughly linearly with speed in the
+// semi-planing regime of small craft, so the effective coefficient is
+// WaveCoeff·(V/refSpeed).
+const refSpeed = 5.0
+
+// EffectiveCoeff returns the speed-scaled wave-making coefficient.
+func (s *Ship) EffectiveCoeff() float64 {
+	return s.WaveCoeff * s.Speed / refSpeed
+}
+
+// CuspHeight returns the divergent-wave maximum height Hm = c·d^(−1/3)
+// (eq. 1) at perpendicular distance d from the sailing line. Distances
+// below MinDecayDistance are clamped to keep the near-field finite.
+func (s *Ship) CuspHeight(d float64) float64 {
+	if d < MinDecayDistance {
+		d = MinDecayDistance
+	}
+	return s.EffectiveCoeff() * math.Pow(d, -1.0/3.0)
+}
+
+// TransverseHeight returns the transverse-wave height c·d^(−1/2) at
+// perpendicular distance d.
+func (s *Ship) TransverseHeight(d float64) float64 {
+	if d < MinDecayDistance {
+		d = MinDecayDistance
+	}
+	return s.EffectiveCoeff() * math.Pow(d, -0.5)
+}
+
+// MinDecayDistance clamps the decay laws' singularity at the sailing line
+// (meters).
+const MinDecayDistance = 2.0
+
+// ArrivalTime returns the time at which the wake front (the cusp locus
+// line trailing the ship at the Kelvin half-angle) sweeps the point p.
+// The front passes p when the ship is d/tan(19°28′) beyond p's projection
+// onto the sailing line.
+func (s *Ship) ArrivalTime(p geo.Vec2) float64 {
+	along := s.Track.Project(p)
+	d := s.Track.Dist(p)
+	lead := d / math.Tan(KelvinHalfAngle)
+	return s.Time0 + (along+lead)/s.Speed
+}
+
+// Duration returns the wave-train duration at perpendicular distance d,
+// growing as the fourth root of distance (frequency dispersion slowly
+// stretches the packet).
+func (s *Ship) Duration(d float64) float64 {
+	if d < MinDecayDistance {
+		d = MinDecayDistance
+	}
+	return s.BaseDuration * math.Pow(d/25.0, 0.25)
+}
+
+// Signal is the deterministic wake packet observed at one fixed point: a
+// Gaussian-enveloped wave train for the divergent (cusp) waves plus a
+// faster-decaying transverse component.
+type Signal struct {
+	// Arrival is the wake-front arrival time at the point (seconds).
+	Arrival float64
+	// Amp is the divergent-wave amplitude (half of Hm) in meters.
+	Amp float64
+	// TransAmp is the transverse-wave amplitude in meters.
+	TransAmp float64
+	// Freq is the divergent wave frequency in Hz.
+	Freq float64
+	// TransFreq is the transverse wave frequency in Hz.
+	TransFreq float64
+	// Sigma is the Gaussian envelope width in seconds.
+	Sigma float64
+}
+
+// SignalAt precomputes the wake packet parameters for point p.
+func (s *Ship) SignalAt(p geo.Vec2) Signal {
+	d := s.Track.Dist(p)
+	dur := s.Duration(d)
+	return Signal{
+		Arrival:   s.ArrivalTime(p),
+		Amp:       s.CuspHeight(d) / 2,
+		TransAmp:  s.TransverseHeight(d) / 2 * transverseWeight,
+		Freq:      s.WakeFreq(),
+		TransFreq: s.TransverseFreq(),
+		Sigma:     dur / 2,
+	}
+	// The envelope width σ = duration/2 puts ~95% of the packet energy
+	// within ±duration of the center.
+}
+
+// transverseWeight scales the transverse contribution relative to the
+// divergent waves; transverse waves are weaker at the cusp observation
+// points (the paper: "only divergent waves can be observed far from the
+// vessel").
+const transverseWeight = 0.4
+
+// packetCenterLag places the packet center this many σ after the front
+// arrival, so the envelope onset coincides with the front.
+const packetCenterLag = 1.5
+
+// Elevation returns the wake's surface-elevation contribution at time t.
+func (g Signal) Elevation(t float64) float64 {
+	u := t - (g.Arrival + packetCenterLag*g.Sigma)
+	if g.Sigma <= 0 {
+		return 0
+	}
+	env := math.Exp(-u * u / (2 * g.Sigma * g.Sigma))
+	e := g.Amp * env * math.Cos(2*math.Pi*g.Freq*u)
+	e += g.TransAmp * env * math.Cos(2*math.Pi*g.TransFreq*u)
+	return e
+}
+
+// VerticalAccel returns the exact second time derivative of Elevation,
+// i.e. the vertical acceleration a surface-following buoy experiences from
+// the wake packet.
+func (g Signal) VerticalAccel(t float64) float64 {
+	if g.Sigma <= 0 {
+		return 0
+	}
+	u := t - (g.Arrival + packetCenterLag*g.Sigma)
+	s2 := g.Sigma * g.Sigma
+	env := math.Exp(-u * u / (2 * s2))
+	envD1 := -u / s2            // g'/g
+	envD2 := u*u/(s2*s2) - 1/s2 // g''/g
+	acc := 0.0
+	for _, c := range [2]struct{ amp, freq float64 }{{g.Amp, g.Freq}, {g.TransAmp, g.TransFreq}} {
+		w := 2 * math.Pi * c.freq
+		cos, sin := math.Cos(w*u), math.Sin(w*u)
+		// d²/dt² [env·cos(wu)] = env·[(g''/g − w²)·cos − 2w·(g'/g)·sin]
+		acc += c.amp * env * ((envD2-w*w)*cos - 2*w*envD1*sin)
+	}
+	return acc
+}
+
+// Field adapts a Ship into a position-dependent acceleration source with
+// the same interface shape as ocean.Field, for composition by the sensor
+// model.
+type Field struct {
+	Ship *Ship
+}
+
+// Elevation returns the wake elevation contribution at p and t.
+func (f Field) Elevation(p geo.Vec2, t float64) float64 {
+	return f.Ship.SignalAt(p).Elevation(t)
+}
+
+// VerticalAccel returns the wake's vertical acceleration at p and t.
+func (f Field) VerticalAccel(p geo.Vec2, t float64) float64 {
+	return f.Ship.SignalAt(p).VerticalAccel(t)
+}
+
+// Slope returns the wake-induced surface slope. The packet model is
+// point-local; slope is approximated from the divergent wave's wavenumber
+// along the propagation direction (perpendicular-ish to the cusp line).
+// Its magnitude is |∂η/∂x| ≈ k·η with k from the wake frequency.
+func (f Field) Slope(p geo.Vec2, t float64) geo.Vec2 {
+	e := f.Ship.SignalAt(p).Elevation(t)
+	k := ocean.WavenumberFor(f.Ship.WakeFreq())
+	// Propagation direction: away from the sailing line, rotated by Θ.
+	side := f.Ship.Track.SignedDist(p)
+	normal := geo.Vec2{X: -f.Ship.Track.Dir.Y, Y: f.Ship.Track.Dir.X}
+	if side < 0 {
+		normal = normal.Scale(-1)
+	}
+	return normal.Scale(k * e)
+}

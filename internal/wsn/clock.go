@@ -1,0 +1,28 @@
+package wsn
+
+// Clock models a node's imperfect local clock: a fixed offset plus linear
+// drift relative to true time. The SID system assumes nodes are
+// time-synchronized before deployment and resynchronized by a protocol
+// (§IV-C1: "it should run time synchronization and localization
+// algorithms"); the residual error after sync is what limits the speed
+// estimator's timestamp accuracy.
+type Clock struct {
+	// Offset is the local-minus-true time offset at true time 0, seconds.
+	Offset float64
+	// DriftPPM is the frequency error in parts per million.
+	DriftPPM float64
+}
+
+// Local converts true time to the clock's reading.
+func (c Clock) Local(trueTime float64) float64 {
+	return trueTime + c.Offset + c.DriftPPM*1e-6*trueTime
+}
+
+// True converts a clock reading back to true time.
+func (c Clock) True(localTime float64) float64 {
+	return (localTime - c.Offset) / (1 + c.DriftPPM*1e-6)
+}
+
+// Adjust applies a correction to the clock offset (what a sync protocol
+// does after estimating the offset to a reference).
+func (c *Clock) Adjust(delta float64) { c.Offset += delta }

@@ -1,0 +1,388 @@
+// Package wsn is the wireless-sensor-network substrate SID runs on: nodes
+// with positions, imperfect clocks and finite batteries, a lossy
+// finite-range radio with MAC jitter, hop-limited flooding (used to set up
+// the paper's temporary clusters "within six hops"), BFS tree routing to a
+// sink, and a two-way message-exchange time-synchronization protocol — the
+// middleware services §IV-A says a deployment must provide (localization,
+// time synchronization, routing infrastructure).
+//
+// Everything runs on the deterministic discrete-event engine in
+// internal/sim so whole-network scenarios are reproducible from one seed.
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sim"
+)
+
+// NodeID identifies a node within its network. The sink is a normal node
+// designated at network construction.
+type NodeID int
+
+// Broadcast is the wildcard destination.
+const Broadcast NodeID = -1
+
+// Message is a radio frame. Payload contents are application-defined.
+type Message struct {
+	// Seq is a network-unique identifier assigned at origination; flooding
+	// uses it for duplicate suppression.
+	Seq uint64
+	// Kind tags the payload for dispatch.
+	Kind string
+	// Src is the originating node; From is the immediate transmitter.
+	Src, From NodeID
+	// To is the final destination, or Broadcast.
+	To NodeID
+	// TTL is the remaining hop budget for flooded messages.
+	TTL int
+	// Payload carries application data.
+	Payload interface{}
+}
+
+// Handler consumes a delivered message on a node.
+type Handler func(n *Node, msg Message)
+
+// Node is one sensor buoy's networking identity.
+type Node struct {
+	ID  NodeID
+	Pos geo.Vec2
+	// Clock is the node's imperfect local clock.
+	Clock Clock
+	// Battery is nil for mains-powered nodes (e.g. the sink).
+	Battery *Battery
+	// OnMessage receives application messages (after protocol handlers).
+	OnMessage Handler
+
+	net       *Network
+	alive     bool
+	protocols map[string]Handler
+	seen      map[uint64]struct{}
+}
+
+// Alive reports whether the node is powered and functioning.
+func (n *Node) Alive() bool { return n.alive && (n.Battery == nil || !n.Battery.Empty()) }
+
+// Fail kills the node (hardware fault injection).
+func (n *Node) Fail() { n.alive = false }
+
+// Revive restores a failed node (but not an empty battery).
+func (n *Node) Revive() { n.alive = true }
+
+// Network returns the network the node belongs to.
+func (n *Node) Network() *Network { return n.net }
+
+// LocalTime converts true simulation time to this node's clock reading.
+func (n *Node) LocalTime(trueTime float64) float64 { return n.Clock.Local(trueTime) }
+
+// Now returns the node's current local clock reading.
+func (n *Node) Now() float64 { return n.Clock.Local(n.net.Sched.Now()) }
+
+// RegisterProtocol installs a kind-specific handler that runs instead of
+// OnMessage for messages of that kind (used by the time-sync protocol).
+func (n *Node) RegisterProtocol(kind string, h Handler) {
+	n.protocols[kind] = h
+}
+
+// RadioConfig models the 802.15.4-class radio.
+type RadioConfig struct {
+	// Range is the maximum link distance in meters.
+	Range float64
+	// LossProb is the per-transmission frame loss probability in [0, 1).
+	LossProb float64
+	// BaseDelay is the fixed propagation+processing latency in seconds.
+	BaseDelay float64
+	// JitterStd is the standard deviation of MAC backoff jitter (seconds).
+	JitterStd float64
+	// Retries is the number of link-layer retransmissions for unicast
+	// frames (flooded frames are fire-and-forget).
+	Retries int
+}
+
+// DefaultRadioConfig returns parameters typical of an iMote2-class radio in
+// a 25 m grid: 60 m range, 5% frame loss, ~5 ms latency with 2 ms jitter.
+func DefaultRadioConfig() RadioConfig {
+	return RadioConfig{Range: 60, LossProb: 0.05, BaseDelay: 0.005, JitterStd: 0.002, Retries: 2}
+}
+
+func (c RadioConfig) validate() error {
+	if c.Range <= 0 {
+		return fmt.Errorf("wsn: radio range must be positive, got %g", c.Range)
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("wsn: loss probability must be in [0,1), got %g", c.LossProb)
+	}
+	if c.BaseDelay < 0 || c.JitterStd < 0 {
+		return fmt.Errorf("wsn: delays must be non-negative: %+v", c)
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("wsn: retries must be non-negative, got %d", c.Retries)
+	}
+	return nil
+}
+
+// Network is a deployed WSN: nodes, connectivity, radio model and stats.
+type Network struct {
+	Sched *sim.Scheduler
+	Radio RadioConfig
+
+	nodes     []*Node
+	neighbors [][]NodeID
+	seq       uint64
+	rng       *rand.Rand
+
+	// Stats counts link-level activity.
+	Stats Stats
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Sent      int // frames transmitted (including retries and forwards)
+	Delivered int // frames delivered to a handler
+	Lost      int // frames dropped by the loss process
+	Duplicate int // flooded frames suppressed as duplicates
+}
+
+// NewNetwork deploys nodes at the given positions. Node i gets ID i.
+// Clock imperfections are drawn from the scheduler's "clock" stream:
+// offsets uniform in ±maxOffset, drifts uniform in ±maxDriftPPM.
+func NewNetwork(sched *sim.Scheduler, positions []geo.Vec2, radio RadioConfig) (*Network, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("wsn: scheduler is required")
+	}
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("wsn: at least one node position is required")
+	}
+	if err := radio.validate(); err != nil {
+		return nil, err
+	}
+	net := &Network{
+		Sched: sched,
+		Radio: radio,
+		rng:   sched.RNG("wsn.radio"),
+	}
+	clockRNG := sched.RNG("wsn.clock")
+	const maxOffset = 0.05   // ±50 ms initial offset
+	const maxDriftPPM = 20.0 // ±20 ppm drift
+	for i, p := range positions {
+		n := &Node{
+			ID:  NodeID(i),
+			Pos: p,
+			Clock: Clock{
+				Offset:   (clockRNG.Float64()*2 - 1) * maxOffset,
+				DriftPPM: (clockRNG.Float64()*2 - 1) * maxDriftPPM,
+			},
+			net:       net,
+			alive:     true,
+			protocols: make(map[string]Handler),
+			seen:      make(map[uint64]struct{}),
+		}
+		net.nodes = append(net.nodes, n)
+	}
+	net.rebuildNeighbors()
+	return net, nil
+}
+
+func (w *Network) rebuildNeighbors() {
+	w.neighbors = make([][]NodeID, len(w.nodes))
+	for i, a := range w.nodes {
+		for j, b := range w.nodes {
+			if i == j {
+				continue
+			}
+			if a.Pos.Dist(b.Pos) <= w.Radio.Range {
+				w.neighbors[i] = append(w.neighbors[i], NodeID(j))
+			}
+		}
+	}
+}
+
+// NumNodes returns the node count.
+func (w *Network) NumNodes() int { return len(w.nodes) }
+
+// Node returns the node with the given ID.
+func (w *Network) Node(id NodeID) (*Node, error) {
+	if int(id) < 0 || int(id) >= len(w.nodes) {
+		return nil, fmt.Errorf("wsn: no node %d", id)
+	}
+	return w.nodes[id], nil
+}
+
+// MustNode is Node for known-valid IDs (panics otherwise); used internally
+// and in tests.
+func (w *Network) MustNode(id NodeID) *Node {
+	n, err := w.Node(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Nodes returns all nodes in ID order. The slice is shared; do not modify.
+func (w *Network) Nodes() []*Node { return w.nodes }
+
+// Neighbors returns the IDs within radio range of id.
+func (w *Network) Neighbors(id NodeID) []NodeID {
+	if int(id) < 0 || int(id) >= len(w.neighbors) {
+		return nil
+	}
+	return w.neighbors[id]
+}
+
+// NextSeq assigns a network-unique message sequence number.
+func (w *Network) NextSeq() uint64 {
+	w.seq++
+	return w.seq
+}
+
+// transmit models one frame over one link: loss, delay, energy, delivery.
+// Returns false if the frame was dropped at send time (dead endpoints or
+// loss); delivery itself is asynchronous.
+func (w *Network) transmit(from, to *Node, msg Message) bool {
+	if !from.Alive() {
+		return false
+	}
+	w.Stats.Sent++
+	if from.Battery != nil {
+		from.Battery.Consume(CostTx)
+	}
+	if w.rng.Float64() < w.Radio.LossProb {
+		w.Stats.Lost++
+		return false
+	}
+	delay := w.Radio.BaseDelay
+	if w.Radio.JitterStd > 0 {
+		j := w.rng.NormFloat64() * w.Radio.JitterStd
+		if j < 0 {
+			j = -j
+		}
+		delay += j
+	}
+	msg.From = from.ID
+	err := w.Sched.After(delay, func() {
+		if !to.Alive() {
+			return
+		}
+		if to.Battery != nil {
+			to.Battery.Consume(CostRx)
+		}
+		w.deliver(to, msg)
+	})
+	return err == nil
+}
+
+func (w *Network) deliver(n *Node, msg Message) {
+	w.Stats.Delivered++
+	if h, ok := n.protocols[msg.Kind]; ok {
+		h(n, msg)
+		return
+	}
+	if n.OnMessage != nil {
+		n.OnMessage(n, msg)
+	}
+}
+
+// Unicast sends msg from -> to over a direct link with link-layer retries.
+// It fails immediately if the nodes are not in range.
+func (w *Network) Unicast(from, to NodeID, kind string, payload interface{}) error {
+	src, err := w.Node(from)
+	if err != nil {
+		return err
+	}
+	dst, err := w.Node(to)
+	if err != nil {
+		return err
+	}
+	if src.Pos.Dist(dst.Pos) > w.Radio.Range {
+		return fmt.Errorf("wsn: %d -> %d out of radio range", from, to)
+	}
+	msg := Message{
+		Seq:     w.NextSeq(),
+		Kind:    kind,
+		Src:     from,
+		To:      to,
+		Payload: payload,
+	}
+	for attempt := 0; attempt <= w.Radio.Retries; attempt++ {
+		if w.transmit(src, dst, msg) {
+			return nil
+		}
+	}
+	return fmt.Errorf("wsn: %d -> %d lost after %d attempts", from, to, w.Radio.Retries+1)
+}
+
+// Flood originates a hop-limited broadcast: every node within ttl hops that
+// receives it (subject to loss) gets one delivery. The paper's temporary
+// cluster setup "informs its neighbor nodes within N hops" this way (the
+// SID algorithm uses six hops).
+func (w *Network) Flood(from NodeID, ttl int, kind string, payload interface{}) error {
+	src, err := w.Node(from)
+	if err != nil {
+		return err
+	}
+	if ttl <= 0 {
+		return fmt.Errorf("wsn: flood TTL must be positive, got %d", ttl)
+	}
+	msg := Message{
+		Seq:     w.NextSeq(),
+		Kind:    kind,
+		Src:     from,
+		To:      Broadcast,
+		TTL:     ttl,
+		Payload: payload,
+	}
+	src.seen[msg.Seq] = struct{}{}
+	w.forwardFlood(src, msg)
+	return nil
+}
+
+func (w *Network) forwardFlood(n *Node, msg Message) {
+	for _, nb := range w.Neighbors(n.ID) {
+		w.transmitFlood(n, w.nodes[nb], msg)
+	}
+}
+
+func (w *Network) transmitFlood(from, to *Node, msg Message) {
+	if !from.Alive() {
+		return
+	}
+	w.Stats.Sent++
+	if from.Battery != nil {
+		from.Battery.Consume(CostTx)
+	}
+	if w.rng.Float64() < w.Radio.LossProb {
+		w.Stats.Lost++
+		return
+	}
+	delay := w.Radio.BaseDelay
+	if w.Radio.JitterStd > 0 {
+		j := w.rng.NormFloat64() * w.Radio.JitterStd
+		if j < 0 {
+			j = -j
+		}
+		delay += j
+	}
+	fwd := msg
+	fwd.From = from.ID
+	_ = w.Sched.After(delay, func() {
+		if !to.Alive() {
+			return
+		}
+		if to.Battery != nil {
+			to.Battery.Consume(CostRx)
+		}
+		if _, dup := to.seen[fwd.Seq]; dup {
+			w.Stats.Duplicate++
+			return
+		}
+		to.seen[fwd.Seq] = struct{}{}
+		w.deliver(to, fwd)
+		if fwd.TTL > 1 {
+			next := fwd
+			next.TTL--
+			w.forwardFlood(to, next)
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Package sid is the public facade of the SID reproduction: ship intrusion
+// detection with wireless sensor networks, after Luo et al., ICDCS 2011
+// (DOI 10.1109/ICDCS.2011.21).
+//
+// SID detects unauthorized vessels from the V-shaped Kelvin wake they drag
+// across a field of accelerometer buoys: every node runs an
+// environment-adaptive threshold detector on its z-axis acceleration; a
+// detecting node forms a temporary cluster within six radio hops; the
+// cluster head confirms the intrusion by checking the spatial/temporal
+// correlations the sweeping wake imposes on report times and energies, and
+// estimates the intruder's speed and heading from four detection
+// timestamps using the fixed 19°28′ Kelvin cusp angle.
+//
+// The facade wraps the full simulated deployment (ocean, wakes, buoys,
+// radios, clocks, batteries, and the distributed SID protocol on a
+// discrete-event scheduler). Quick start:
+//
+//	dep, err := sid.NewDeployment(sid.DefaultDeployment())
+//	if err != nil { ... }
+//	dep.AddIntruder(sid.Intruder{SpeedKnots: 10, CrossAt: 150})
+//	if err := dep.Run(400); err != nil { ... }
+//	for _, det := range dep.Detections() {
+//	    fmt.Printf("intrusion C=%.2f speed=%.1f kn\n", det.C, det.SpeedKnots)
+//	}
+//
+// The packages under internal/ implement the substrates (DSP, ocean and
+// wake physics, sensing, the WSN runtime, the detection pipeline, and the
+// evaluation harness reproducing every table and figure of the paper);
+// see DESIGN.md for the inventory.
+package sid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/wake"
+	"github.com/sid-wsn/sid/internal/wsn"
+)
+
+// Deployment is a running SID surveillance field.
+type Deployment struct {
+	rt  *sid.Runtime
+	cfg Config
+}
+
+// Config configures a deployment. The zero value is not valid; start from
+// DefaultDeployment.
+type Config struct {
+	// Rows, Cols and SpacingM describe the buoy grid (the paper deploys
+	// manually in a grid at D = 25 m).
+	Rows, Cols int
+	SpacingM   float64
+	// SignificantWaveHeightM and PeakPeriodS describe the ambient sea.
+	SignificantWaveHeightM float64
+	PeakPeriodS            float64
+	// ThresholdM is the node-level threshold multiplier M (1–3).
+	ThresholdM float64
+	// AnomalyThreshold is the af fraction required for a node report.
+	AnomalyThreshold float64
+	// CThreshold is the cluster-level correlation threshold (0.4).
+	CThreshold float64
+	// PacketLoss is the radio frame loss probability.
+	PacketLoss float64
+	// BatteryJ equips nodes with finite batteries when positive.
+	BatteryJ float64
+	// Seed makes the whole deployment reproducible.
+	Seed int64
+}
+
+// DefaultDeployment is a 5×5 grid at 25 m on a slight sea with the paper's
+// algorithm parameters.
+func DefaultDeployment() Config {
+	return Config{
+		Rows: 5, Cols: 5, SpacingM: 25,
+		SignificantWaveHeightM: 0.3,
+		PeakPeriodS:            6,
+		ThresholdM:             2,
+		AnomalyThreshold:       0.6,
+		CThreshold:             0.4,
+		PacketLoss:             0.05,
+	}
+}
+
+// NewDeployment builds the simulated field.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	rc := sid.DefaultConfig()
+	rc.Grid = geo.GridSpec{Rows: cfg.Rows, Cols: cfg.Cols, Spacing: cfg.SpacingM}
+	rc.Hs = cfg.SignificantWaveHeightM
+	rc.Tp = cfg.PeakPeriodS
+	rc.Detect.M = cfg.ThresholdM
+	rc.Detect.AnomalyThreshold = cfg.AnomalyThreshold
+	rc.Cluster.CThreshold = cfg.CThreshold
+	rc.Cluster.RowSpacing = cfg.SpacingM
+	rc.Radio.LossProb = cfg.PacketLoss
+	rc.BatteryJ = cfg.BatteryJ
+	if cfg.BatteryJ > 0 {
+		rc.Energy = wsn.DefaultEnergyConfig()
+	}
+	rc.Seed = cfg.Seed
+	rt, err := sid.NewRuntime(rc)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{rt: rt, cfg: cfg}, nil
+}
+
+// Intruder describes a vessel crossing the surveillance field.
+type Intruder struct {
+	// SpeedKnots is the vessel speed.
+	SpeedKnots float64
+	// HeadingDeg is the sailing direction in degrees from the grid's
+	// row (east) axis; 90 crosses the grid perpendicular to its rows.
+	HeadingDeg float64
+	// OffsetM shifts the sailing line sideways from the grid center.
+	OffsetM float64
+	// CrossAt is the simulation time (seconds) at which the wake front
+	// reaches the grid center.
+	CrossAt float64
+	// LengthM is the waterline length (default 12 m).
+	LengthM float64
+}
+
+// AddIntruder schedules a vessel crossing. Call before or between Run
+// segments.
+func (d *Deployment) AddIntruder(in Intruder) error {
+	if in.SpeedKnots <= 0 {
+		return fmt.Errorf("sid: intruder speed must be positive, got %g", in.SpeedKnots)
+	}
+	if in.LengthM == 0 {
+		in.LengthM = 12
+	}
+	heading := geo.Deg(in.HeadingDeg)
+	if in.HeadingDeg == 0 {
+		heading = geo.Deg(90) // default: perpendicular crossing
+	}
+	grid := geo.GridSpec{Rows: d.cfg.Rows, Cols: d.cfg.Cols, Spacing: d.cfg.SpacingM}
+	center := grid.Center()
+	dir := geo.Vec2{X: math.Cos(heading), Y: math.Sin(heading)}
+	normal := geo.Vec2{X: -dir.Y, Y: dir.X}
+	origin := center.Add(normal.Scale(in.OffsetM)).Sub(dir.Scale(1000))
+	track := geo.NewLine(origin, dir)
+	ship, err := wake.NewShip(track, geo.Knots(in.SpeedKnots), in.LengthM)
+	if err != nil {
+		return err
+	}
+	ship.Time0 = in.CrossAt - (ship.ArrivalTime(center) - ship.Time0)
+	d.rt.AddShip(ship)
+	return nil
+}
+
+// Run advances the deployment by dur seconds of simulated time.
+func (d *Deployment) Run(dur float64) error { return d.rt.Run(dur) }
+
+// Detection is one confirmed intrusion as received at the sink.
+type Detection struct {
+	// Time is the sink-local arrival time of the confirmation.
+	Time float64
+	// C is the spatial/temporal correlation coefficient (eq. 13).
+	C float64
+	// Reports is the number of node reports behind the confirmation.
+	Reports int
+	// MeanOnset is the mean node onset time of the event.
+	MeanOnset float64
+	// HasSpeed reports whether the four-node speed condition was met.
+	HasSpeed bool
+	// SpeedKnots and HeadingDeg estimate the intruder's motion (if
+	// HasSpeed).
+	SpeedKnots float64
+	HeadingDeg float64
+}
+
+// Detections returns the confirmed intrusions so far.
+func (d *Deployment) Detections() []Detection {
+	var out []Detection
+	for _, r := range d.rt.SinkReports() {
+		det := Detection{
+			Time:      r.Time,
+			C:         r.C,
+			Reports:   r.Reports,
+			MeanOnset: r.MeanOnset,
+			HasSpeed:  r.HasSpeed,
+		}
+		if r.HasSpeed {
+			det.SpeedKnots = geo.ToKnots(r.Speed)
+			det.HeadingDeg = geo.ToDeg(r.Heading)
+		}
+		out = append(out, det)
+	}
+	return out
+}
+
+// Stats summarizes protocol activity.
+type Stats struct {
+	ClustersFormed    int
+	ClustersCancelled int
+	FramesSent        int
+	FramesLost        int
+}
+
+// Stats returns protocol counters.
+func (d *Deployment) Stats() Stats {
+	ns := d.rt.Network().Stats
+	return Stats{
+		ClustersFormed:    d.rt.ClustersFormed,
+		ClustersCancelled: d.rt.Cancelled,
+		FramesSent:        ns.Sent,
+		FramesLost:        ns.Lost,
+	}
+}
+
+// Runtime exposes the underlying runtime for advanced use (fault
+// injection, energy accounting, direct network access).
+func (d *Deployment) Runtime() *sid.Runtime { return d.rt }

@@ -1,0 +1,79 @@
+package sid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	cfg := DefaultDeployment()
+	cfg.Seed = 42
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.AddIntruder(Intruder{SpeedKnots: 10, CrossAt: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	dets := dep.Detections()
+	if len(dets) == 0 {
+		t.Fatalf("no detection (stats %+v)", dep.Stats())
+	}
+	d := dets[0]
+	if d.C < cfg.CThreshold {
+		t.Errorf("C = %v below threshold", d.C)
+	}
+	if d.HasSpeed {
+		if math.Abs(d.SpeedKnots-10)/10 > 0.3 {
+			t.Errorf("speed estimate %v kn, actual 10", d.SpeedKnots)
+		}
+	}
+	st := dep.Stats()
+	if st.FramesSent == 0 {
+		t.Error("no radio activity")
+	}
+}
+
+func TestDeploymentQuietSeaSilent(t *testing.T) {
+	cfg := DefaultDeployment()
+	cfg.Seed = 43
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(dep.Detections()); n != 0 {
+		t.Errorf("quiet sea produced %d detections", n)
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	cfg := DefaultDeployment()
+	cfg.Rows = 0
+	if _, err := NewDeployment(cfg); err == nil {
+		t.Error("expected error for zero rows")
+	}
+	dep, err := NewDeployment(DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.AddIntruder(Intruder{SpeedKnots: 0}); err == nil {
+		t.Error("expected error for zero-speed intruder")
+	}
+}
+
+func TestIntruderDefaults(t *testing.T) {
+	dep, err := NewDeployment(DefaultDeployment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero heading defaults to a perpendicular crossing; zero length to 12 m.
+	if err := dep.AddIntruder(Intruder{SpeedKnots: 8, CrossAt: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
