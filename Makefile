@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: test bench race vet baseline
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Race-checks the worker pool and everything it fans out into; run after
+# touching the parallel pipeline (see docs/PERFORMANCE.md).
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerates the machine-readable perf baseline (BENCH_baseline.json).
+baseline:
+	$(GO) run ./cmd/sidbench -bench

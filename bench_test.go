@@ -18,6 +18,7 @@ import (
 	"github.com/sid-wsn/sid/internal/dsp"
 	"github.com/sid-wsn/sid/internal/eval"
 	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/sensor"
 	isid "github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/wake"
@@ -353,6 +354,111 @@ func BenchmarkOceanFieldSample(b *testing.B) {
 		sens.SampleAt(model, float64(i)/50)
 	}
 }
+
+// --- Wave-synthesis and FFT-plan benchmarks ---
+//
+// These back the numbers in docs/PERFORMANCE.md and BENCH_baseline.json;
+// perf-affecting PRs must re-run them (see the rules in PERFORMANCE.md).
+
+// benchField builds a representative directional sea: 64 frequency bins ×
+// 8 directions, the default discretization used by deployments.
+func benchField(b *testing.B) *ocean.Field {
+	b.Helper()
+	spec, err := ocean.NewPiersonMoskowitz(0.3, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ocean.NewField(ocean.FieldConfig{Spectrum: spec, NumFreqs: 64, NumDirs: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// seriesBlock is the samples synthesized per benchmark op (10 s at 50 Hz),
+// long enough to cross no resync boundary yet amortize setup, matching how
+// the runtime consumes the API.
+const seriesBlock = 500
+
+// BenchmarkFieldSeriesPerSample is the pre-batching baseline: one
+// sin/cos-per-component SampleSurface call per sample.
+func BenchmarkFieldSeriesPerSample(b *testing.B) {
+	f := benchField(b)
+	p := geo.Vec2{X: 40, Y: 60}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := float64(i)
+		for s := 0; s < seriesBlock; s++ {
+			f.SampleSurface(p, t0+float64(s)/50)
+		}
+	}
+}
+
+// BenchmarkFieldSeries synthesizes the same samples through the
+// phasor-rotation recurrence; the ns/op ratio against
+// BenchmarkFieldSeriesPerSample is the headline speedup.
+func BenchmarkFieldSeries(b *testing.B) {
+	f := benchField(b)
+	p := geo.Vec2{X: 40, Y: 60}
+	accel := make([]float64, seriesBlock)
+	slopeX := make([]float64, seriesBlock)
+	slopeY := make([]float64, seriesBlock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AccumulateSeries(p, float64(i), 1.0/50, seriesBlock, accel, slopeX, slopeY)
+	}
+}
+
+// BenchmarkSensorBlock measures the full batched sensing path (series
+// synthesis + tilt/quantization/noise) for a one-second 50-sample block —
+// the unit of work the runtime fans out per node.
+func BenchmarkSensorBlock(b *testing.B) {
+	sc := eval.DefaultScenario()
+	sens, model, _, err := sc.Build(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf sensor.BlockBuffers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sens.SampleBlock(model, float64(i), 50, &buf)
+	}
+}
+
+// BenchmarkBluestein1500 exercises the cached chirp-z plan on a
+// non-power-of-two length (Welch/PSD segment sizes land here).
+func BenchmarkBluestein1500(b *testing.B) {
+	x := make([]complex128, 1500)
+	for i := range x {
+		x[i] = complex(float64(i%23), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.FFT(x)
+	}
+}
+
+// benchDeployment runs a short full-deployment segment with the given
+// worker count; Serial vs Parallel shows the fan-out gain (none expected
+// on a single-core host — the recurrence itself is the cross-platform win).
+func benchDeployment(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := isid.DefaultConfig()
+		cfg.Seed = 7
+		cfg.Workers = workers
+		rt, err := isid.NewRuntime(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Run(60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeploymentSerial(b *testing.B)   { benchDeployment(b, 1) }
+func BenchmarkDeploymentParallel(b *testing.B) { benchDeployment(b, 0) }
 
 func BenchmarkClusterEvaluate(b *testing.B) {
 	reports := randomClusterReports(1)

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/sid-wsn/sid/internal/dsp"
+	"github.com/sid-wsn/sid/internal/eval"
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/ocean"
+	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/sid"
+)
+
+// benchResult is one measured benchmark in the machine-readable baseline.
+type benchResult struct {
+	Name string `json:"name"`
+	// NsPerOp is the mean wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Ops is the number of operations timed.
+	Ops int `json:"ops"`
+	// Note describes what one op is (e.g. samples synthesized).
+	Note string `json:"note,omitempty"`
+}
+
+// benchFile is the schema of BENCH_baseline.json. Perf-affecting PRs must
+// regenerate the file (see docs/PERFORMANCE.md).
+type benchFile struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Benchmarks  []benchResult     `json:"benchmarks"`
+	Derived     map[string]string `json:"derived"`
+}
+
+// timeIt runs fn repeatedly for roughly a second (after one warm-up call)
+// and returns the mean ns/op and iteration count.
+func timeIt(fn func()) (float64, int) {
+	fn() // warm-up: plan caches, allocator
+	start := time.Now()
+	fn()
+	per := time.Since(start)
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	n := int(time.Second / per)
+	if n < 3 {
+		n = 3
+	}
+	if n > 100000 {
+		n = 100000
+	}
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n), n
+}
+
+// runBench measures the performance baseline suite and writes it as JSON to
+// path. The suite mirrors the go-test benchmarks in bench_test.go so the
+// two stay comparable: per-sample vs batched wave synthesis, cached FFT
+// plans, the batched sensing path, and a short full deployment serial vs
+// parallel.
+func runBench(path string) error {
+	spec, err := ocean.NewPiersonMoskowitz(0.3, 6)
+	if err != nil {
+		return err
+	}
+	field, err := ocean.NewField(ocean.FieldConfig{Spectrum: spec, NumFreqs: 64, NumDirs: 8, Seed: 1})
+	if err != nil {
+		return err
+	}
+	p := geo.Vec2{X: 40, Y: 60}
+	const block = 500 // samples per op, 10 s at 50 Hz
+
+	var results []benchResult
+	add := func(name, note string, fn func()) benchResult {
+		ns, ops := timeIt(fn)
+		r := benchResult{Name: name, NsPerOp: ns, Ops: ops, Note: note}
+		results = append(results, r)
+		fmt.Printf("  %-28s %12.0f ns/op  (%d ops)\n", name, ns, ops)
+		return r
+	}
+
+	fmt.Println("== bench: performance baseline ==")
+	var tick float64
+	perSample := add("field_series_per_sample", fmt.Sprintf("%d samples via SampleSurface", block), func() {
+		for s := 0; s < block; s++ {
+			a, sl := field.SampleSurface(p, tick+float64(s)/50)
+			tick += (a + sl.X) * 0 // keep the result live
+		}
+		tick++
+	})
+	accel := make([]float64, block)
+	slopeX := make([]float64, block)
+	slopeY := make([]float64, block)
+	var t0 float64
+	batched := add("field_series_batched", fmt.Sprintf("%d samples via AccumulateSeries", block), func() {
+		field.AccumulateSeries(p, t0, 1.0/50, block, accel, slopeX, slopeY)
+		t0++
+	})
+
+	xr := make([]float64, 2048)
+	for i := range xr {
+		xr[i] = float64(i % 97)
+	}
+	add("fft_2048_planned", "PowerSpectrum, cached radix-2 plan", func() { dsp.PowerSpectrum(xr) })
+
+	xc := make([]complex128, 1500)
+	for i := range xc {
+		xc[i] = complex(float64(i%23), 0)
+	}
+	add("bluestein_1500_planned", "complex FFT, cached chirp-z plan", func() { dsp.FFT(xc) })
+
+	sc := eval.DefaultScenario()
+	sens, model, _, err := sc.Build(0)
+	if err != nil {
+		return err
+	}
+	var buf sensor.BlockBuffers
+	var bt float64
+	add("sensor_block_50", "one node, 1 s block at 50 Hz", func() {
+		sens.SampleBlock(model, bt, 50, &buf)
+		bt++
+	})
+
+	deployment := func(workers int) func() {
+		return func() {
+			cfg := sid.DefaultConfig()
+			cfg.Seed = 7
+			cfg.Workers = workers
+			rt, err := sid.NewRuntime(cfg)
+			if err != nil {
+				panic(err)
+			}
+			if err := rt.Run(60); err != nil {
+				panic(err)
+			}
+		}
+	}
+	serial := add("deployment_serial_60s", "5x5 grid, 60 s simulated, Workers=1", deployment(1))
+	par := add("deployment_parallel_60s", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS", deployment(0))
+
+	out := benchFile{
+		GeneratedBy: "go run ./cmd/sidbench -bench",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchmarks:  results,
+		Derived: map[string]string{
+			"field_series_speedup":        fmt.Sprintf("%.2fx", perSample.NsPerOp/batched.NsPerOp),
+			"deployment_parallel_speedup": fmt.Sprintf("%.2fx", serial.NsPerOp/par.NsPerOp),
+		},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  field series speedup: %s\n", out.Derived["field_series_speedup"])
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}

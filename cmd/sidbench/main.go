@@ -17,7 +17,17 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12 or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
+	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
+	benchOut := flag.String("benchout", "BENCH_baseline.json", "output path for -bench results")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {

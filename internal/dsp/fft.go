@@ -9,13 +9,18 @@
 // The paper's evaluation was done with MATLAB-style tooling; the repro band
 // flags "weak DSP tooling" in Go, so everything here is implemented from
 // scratch on the standard library.
+//
+// All transforms are pure functions of their inputs and safe for concurrent
+// use: the twiddle-factor/bit-reversal plans they share are built once per
+// transform size, cached process-wide, and never mutated afterwards (see
+// plan.go). Frequencies are in Hz and sample rates in samples/second
+// throughout.
 package dsp
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/cmplx"
 )
 
 // FFT computes the in-place-free discrete Fourier transform of x and returns
@@ -61,79 +66,58 @@ func IFFT(x []complex128) []complex128 {
 
 // fftRadix2 runs an iterative in-place radix-2 Cooley-Tukey transform.
 // len(a) must be a power of two. inverse selects conjugate twiddles
-// (without the 1/N scaling).
+// (without the 1/N scaling). The bit-reversal permutation and twiddle
+// factors come from the process-wide plan cache, so repeated transforms of
+// the same size pay no setup cost.
 func fftRadix2(a []complex128, inverse bool) {
 	n := len(a)
 	if n <= 1 {
 		return
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
+	p := planFor(n)
+	for i, j := range p.rev {
+		if int(j) > i {
 			a[i], a[j] = a[j], a[i]
 		}
 	}
-	sign := -1.0
+	tw := p.tw
 	if inverse {
-		sign = 1.0
+		tw = p.twInv
 	}
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
 				u := a[start+k]
-				v := a[start+k+half] * w
+				v := a[start+k+half] * tw[k*stride]
 				a[start+k] = u + v
 				a[start+k+half] = u - v
-				w *= wBase
 			}
 		}
 	}
 }
 
 // bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// using a power-of-two convolution of length ≥ 2N−1.
+// using a power-of-two convolution of length ≥ 2N−1. The chirp factors and
+// the transformed filter sequence come from the plan cache; only the
+// per-call data transform is computed here.
 func bluestein(x []complex128, inverse bool) []complex128 {
 	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp factors w[k] = exp(sign·iπ·k²/N). k² mod 2N avoids precision
-	// loss for large k.
-	w := make([]complex128, n)
+	p := bluesteinPlanFor(n, inverse)
+	a := make([]complex128, p.m)
 	for k := 0; k < n; k++ {
-		kk := int64(k) * int64(k) % int64(2*n)
-		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * w[k]
-		b[k] = cmplx.Conj(w[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(w[k])
+		a[k] = x[k] * p.w[k]
 	}
 	fftRadix2(a, false)
-	fftRadix2(b, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= p.bFFT[i]
 	}
 	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
+	invM := complex(1/float64(p.m), 0)
 	out := make([]complex128, n)
 	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * w[k]
+		out[k] = a[k] * invM * p.w[k]
 	}
 	return out
 }

@@ -1,0 +1,121 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// fftPlan caches the size-dependent constants of the radix-2 transform:
+// the bit-reversal permutation and the twiddle-factor tables for both
+// transform directions. Plans are immutable once built, so a single plan
+// is safely shared by any number of concurrent transforms.
+type fftPlan struct {
+	n int
+	// rev[i] is the bit-reversed index of i; entries with rev[i] > i mark
+	// the swaps of the input permutation.
+	rev []int32
+	// tw[j] = exp(-2πi·j/n) for j in [0, n/2): the forward twiddles.
+	// twInv holds the conjugates for the inverse transform. Each entry is
+	// computed directly from its angle (not by repeated multiplication),
+	// which keeps large transforms accurate to a few ulps.
+	tw, twInv []complex128
+}
+
+// fftPlans caches one plan per power-of-two size for the lifetime of the
+// process. Sizes used by SID are few (the STFT window, Welch segments,
+// convolution paddings), so the cache stays small while eliminating the
+// per-call permutation and twiddle recomputation the transforms previously
+// paid.
+var fftPlans sync.Map // int -> *fftPlan
+
+// planFor returns the shared plan for a power-of-two transform size n,
+// building and caching it on first use. Concurrent first calls may build
+// the plan twice; exactly one copy wins and is shared from then on.
+func planFor(n int) *fftPlan {
+	if p, ok := fftPlans.Load(n); ok {
+		return p.(*fftPlan)
+	}
+	p := newFFTPlan(n)
+	actual, _ := fftPlans.LoadOrStore(n, p)
+	return actual.(*fftPlan)
+}
+
+func newFFTPlan(n int) *fftPlan {
+	p := &fftPlan{
+		n:     n,
+		rev:   make([]int32, n),
+		tw:    make([]complex128, n/2),
+		twInv: make([]complex128, n/2),
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		shift = 64
+	}
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for j := 0; j < n/2; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		p.tw[j] = complex(c, s)
+		p.twInv[j] = complex(c, -s)
+	}
+	return p
+}
+
+// bluesteinPlan caches the length-dependent constants of the chirp-z
+// transform for one (n, direction) pair: the chirp factors and the
+// pre-transformed filter sequence. Immutable after construction.
+type bluesteinPlan struct {
+	n, m int
+	// w[k] = exp(sign·iπ·k²/n), the chirp factors.
+	w []complex128
+	// bFFT is the forward radix-2 FFT of the chirp filter b, ready for
+	// pointwise multiplication in the convolution.
+	bFFT []complex128
+}
+
+type bluesteinKey struct {
+	n       int
+	inverse bool
+}
+
+var bluesteinPlans sync.Map // bluesteinKey -> *bluesteinPlan
+
+func bluesteinPlanFor(n int, inverse bool) *bluesteinPlan {
+	key := bluesteinKey{n: n, inverse: inverse}
+	if p, ok := bluesteinPlans.Load(key); ok {
+		return p.(*bluesteinPlan)
+	}
+	p := newBluesteinPlan(n, inverse)
+	actual, _ := bluesteinPlans.LoadOrStore(key, p)
+	return actual.(*bluesteinPlan)
+}
+
+func newBluesteinPlan(n int, inverse bool) *bluesteinPlan {
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w[k] = exp(sign·iπ·k²/n). k² mod 2n avoids precision
+	// loss for large k.
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := int64(k) * int64(k) % int64(2*n)
+		w[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(w[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(w[k])
+	}
+	fftRadix2(b, false)
+	return &bluesteinPlan{n: n, m: m, w: w, bFFT: b}
+}

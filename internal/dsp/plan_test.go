@@ -1,0 +1,81 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+// Cached plans must reproduce the textbook DFT for both power-of-two and
+// Bluestein sizes, including after repeated reuse of the same plan.
+func TestPlannedFFTMatchesNaive(t *testing.T) {
+	for _, n := range []int{8, 64, 12, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*1.3))
+		}
+		for rep := 0; rep < 3; rep++ { // reuse the cached plan
+			got := FFT(x)
+			for k := 0; k < n; k++ {
+				var want complex128
+				for i := 0; i < n; i++ {
+					ang := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+					want += x[i] * cmplx.Exp(complex(0, ang))
+				}
+				if cmplx.Abs(got[k]-want) > 1e-9*float64(n) {
+					t.Fatalf("n=%d rep=%d bin %d: got %v want %v", n, rep, k, got[k], want)
+				}
+			}
+		}
+	}
+}
+
+// Concurrent first use of a size must not race and must all agree: every
+// goroutine ends up transforming through the same (or an identical) plan.
+func TestPlanCacheConcurrent(t *testing.T) {
+	const n = 256
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%17), float64(i%5))
+	}
+	want := FFT(x)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				got := FFT(x)
+				for k := range got {
+					if got[k] != want[k] {
+						errs <- "concurrent FFT result differs"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// The inverse plan must round-trip through the forward plan for a
+// non-power-of-two (Bluestein) length.
+func TestBluesteinPlanRoundTrip(t *testing.T) {
+	const n = 1500
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.01), 0)
+	}
+	back := IFFT(FFT(x))
+	for i := range x {
+		if cmplx.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatalf("round trip diverged at %d: %v vs %v", i, back[i], x[i])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+func seriesTestField(t *testing.T) *Field {
+	t.Helper()
+	spec, err := NewJONSWAP(0.4, 6.0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewField(FieldConfig{Spectrum: spec, Seed: 42, BuoyRadius: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The phasor recurrence must agree with the direct per-sample evaluation to
+// within floating-point noise, including across resync boundaries.
+func TestSampleSeriesMatchesSampleSurface(t *testing.T) {
+	f := seriesTestField(t)
+	p := geo.Vec2{X: 13.7, Y: -4.2}
+	const (
+		t0 = 3.25
+		dt = 1.0 / 50
+		n  = resyncInterval*2 + 37 // cross two resync boundaries
+	)
+	series := f.SampleSeries(p, t0, dt, n)
+	if len(series.Accel) != n || len(series.SlopeX) != n || len(series.SlopeY) != n {
+		t.Fatalf("series lengths %d/%d/%d, want %d",
+			len(series.Accel), len(series.SlopeX), len(series.SlopeY), n)
+	}
+	// Scale for relative comparison: typical accel magnitude.
+	var scale float64
+	for _, a := range series.Accel {
+		scale += a * a
+	}
+	scale = math.Sqrt(scale/float64(n)) + 1e-12
+	for s := 0; s < n; s++ {
+		ts := t0 + float64(s)*dt
+		accel, slope := f.SampleSurface(p, ts)
+		if d := math.Abs(series.Accel[s] - accel); d > 1e-9*scale {
+			t.Fatalf("sample %d: accel %v vs direct %v (Δ %g)", s, series.Accel[s], accel, d)
+		}
+		if d := math.Abs(series.SlopeX[s] - slope.X); d > 1e-10 {
+			t.Fatalf("sample %d: slopeX %v vs direct %v", s, series.SlopeX[s], slope.X)
+		}
+		if d := math.Abs(series.SlopeY[s] - slope.Y); d > 1e-10 {
+			t.Fatalf("sample %d: slopeY %v vs direct %v", s, series.SlopeY[s], slope.Y)
+		}
+	}
+}
+
+// Repeated synthesis of the same block must be bit-identical — the property
+// the parallel per-node fan-out relies on.
+func TestSampleSeriesDeterministic(t *testing.T) {
+	f := seriesTestField(t)
+	p := geo.Vec2{X: -8, Y: 21}
+	a := f.SampleSeries(p, 1.5, 0.02, 333)
+	b := f.SampleSeries(p, 1.5, 0.02, 333)
+	for s := range a.Accel {
+		if a.Accel[s] != b.Accel[s] || a.SlopeX[s] != b.SlopeX[s] || a.SlopeY[s] != b.SlopeY[s] {
+			t.Fatalf("sample %d differs between identical syntheses", s)
+		}
+	}
+}
+
+// AccumulateSeries must add into the buffers, not overwrite them, so
+// composite models can stack several sources.
+func TestAccumulateSeriesAdds(t *testing.T) {
+	f := seriesTestField(t)
+	p := geo.Vec2{}
+	const n = 16
+	accel := make([]float64, n)
+	sx := make([]float64, n)
+	sy := make([]float64, n)
+	for i := range accel {
+		accel[i], sx[i], sy[i] = 100, 200, 300
+	}
+	f.AccumulateSeries(p, 0, 0.02, n, accel, sx, sy)
+	base := f.SampleSeries(p, 0, 0.02, n)
+	for s := 0; s < n; s++ {
+		if got, want := accel[s], 100+base.Accel[s]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("accel[%d] = %v, want %v", s, got, want)
+		}
+		if got, want := sx[s], 200+base.SlopeX[s]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("slopeX[%d] = %v, want %v", s, got, want)
+		}
+		if got, want := sy[s], 300+base.SlopeY[s]; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("slopeY[%d] = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestSampleSeriesEmpty(t *testing.T) {
+	f := seriesTestField(t)
+	s := f.SampleSeries(geo.Vec2{}, 0, 0.02, 0)
+	if len(s.Accel) != 0 {
+		t.Fatalf("expected empty series, got %d samples", len(s.Accel))
+	}
+	// n <= 0 must be a no-op for the accumulate form too.
+	f.AccumulateSeries(geo.Vec2{}, 0, 0.02, -3, nil, nil, nil)
+}

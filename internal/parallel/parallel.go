@@ -1,0 +1,60 @@
+// Package parallel provides the deterministic fan-out primitive the SID
+// runtime uses to spread per-node work across cores.
+//
+// Determinism contract: ForEach guarantees only that every fn(i) has
+// completed when it returns — it says nothing about execution order.
+// Callers keep runs reproducible by making each fn(i) depend only on
+// index-private state (its own RNG stream, its own output slot), so the
+// results are bit-identical whether the work ran on one goroutine or many.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), fanning the
+// calls across up to workers goroutines, and returns when all calls have
+// completed. workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 (or
+// n <= 1) runs everything inline on the calling goroutine with no
+// synchronization overhead.
+//
+// Each fn(i) must write only to index-distinct storage and read only state
+// that no other invocation mutates; under that contract the results are
+// independent of scheduling and therefore deterministic.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by atomic counter: each worker claims the next
+	// unclaimed index, so uneven per-item cost still balances.
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 1000
+		hits := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+// Index-distinct writes must produce identical results regardless of the
+// worker count — the determinism contract the SID runtime relies on.
+func TestForEachDeterministicOutputs(t *testing.T) {
+	const n = 257
+	compute := func(workers int) []float64 {
+		out := make([]float64, n)
+		ForEach(n, workers, func(i int) {
+			v := float64(i)
+			for k := 0; k < 100; k++ {
+				v = v*1.0000001 + float64(k)
+			}
+			out[i] = v
+		})
+		return out
+	}
+	serial := compute(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := compute(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, serial %v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

@@ -37,6 +37,26 @@ type SurfaceSampler interface {
 	SampleSurface(p geo.Vec2, t float64) (accel float64, slope geo.Vec2)
 }
 
+// SurfaceSeriesSampler is the batched fast path: models that can synthesize
+// a whole block of samples at a fixed point implement it (ocean.Field uses
+// a phasor-rotation recurrence, wake.Field hoists its per-point packet
+// precomputation out of the sample loop). AccumulateSeries adds the model's
+// contribution for the n instants t0, t0+dt, … into the caller's buffers:
+// accel in m/s², slopeX/slopeY dimensionless. All buffers have length ≥ n.
+type SurfaceSeriesSampler interface {
+	AccumulateSeries(p geo.Vec2, t0, dt float64, n int, accel, slopeX, slopeY []float64)
+}
+
+// MovingSeriesSampler is the batched fast path for a drifting observer:
+// sample s is evaluated at position p0 + v·s·dt, which a spectral model can
+// still synthesize with a pure phasor rotation (a constant-velocity observer
+// only Doppler-shifts each component). SampleBlock prefers this over
+// SurfaceSeriesSampler so slow mooring drift is tracked to second order
+// within a block instead of being frozen at the block start.
+type MovingSeriesSampler interface {
+	AccumulateSeriesMoving(p0, v geo.Vec2, t0, dt float64, n int, accel, slopeX, slopeY []float64)
+}
+
 // Composite sums several surface models (e.g. the ambient sea plus one or
 // more ship wakes).
 type Composite []SurfaceModel
@@ -73,6 +93,25 @@ func (c Composite) SampleSurface(p geo.Vec2, t float64) (accel float64, slope ge
 		slope = slope.Add(m.Slope(p, t))
 	}
 	return accel, slope
+}
+
+// AccumulateSeries implements SurfaceSeriesSampler, using each member's
+// batched path when it has one and falling back to per-sample evaluation
+// otherwise.
+func (c Composite) AccumulateSeries(p geo.Vec2, t0, dt float64, n int, accel, slopeX, slopeY []float64) {
+	for _, m := range c {
+		if bs, ok := m.(SurfaceSeriesSampler); ok {
+			bs.AccumulateSeries(p, t0, dt, n, accel, slopeX, slopeY)
+			continue
+		}
+		for s := 0; s < n; s++ {
+			t := t0 + float64(s)*dt
+			accel[s] += m.VerticalAccel(p, t)
+			sl := m.Slope(p, t)
+			slopeX[s] += sl.X
+			slopeY[s] += sl.Y
+		}
+	}
 }
 
 // AccelConfig describes the accelerometer. The defaults model the
@@ -221,6 +260,14 @@ func (s *Sensor) SampleAt(model SurfaceModel, t float64) Sample {
 		az = model.VerticalAccel(p, t)
 		slope = model.Slope(p, t)
 	}
+	return s.compose(t, az, slope)
+}
+
+// compose turns one raw surface sample (acceleration in m/s², slope
+// dimensionless) into the quantized three-axis reading, drawing the x, y, z
+// noise values in order from the sensor's sequential noise stream. It is
+// the single formula shared by the per-sample and batched paths.
+func (s *Sensor) compose(t, az float64, slope geo.Vec2) Sample {
 	slope = slope.Scale(s.Buoy.cfg.TiltGain)
 
 	// Tilt couples gravity into the horizontal axes: for small angles the
@@ -237,6 +284,89 @@ func (s *Sensor) SampleAt(model SurfaceModel, t float64) Sample {
 		Y: s.Accel.Quantize(yG),
 		Z: s.Accel.Quantize(zG),
 	}
+}
+
+// BlockBuffers is the reusable scratch space for SampleBlock: surface
+// buffers plus the output sample slice. The zero value is ready to use;
+// reusing one across blocks eliminates per-block allocation.
+type BlockBuffers struct {
+	accel, slopeX, slopeY []float64
+	samples               []Sample
+}
+
+func (b *BlockBuffers) reset(n int) {
+	if cap(b.accel) < n {
+		b.accel = make([]float64, n)
+		b.slopeX = make([]float64, n)
+		b.slopeY = make([]float64, n)
+	}
+	b.accel = b.accel[:n]
+	b.slopeX = b.slopeX[:n]
+	b.slopeY = b.slopeY[:n]
+	for i := 0; i < n; i++ {
+		b.accel[i], b.slopeX[i], b.slopeY[i] = 0, 0, 0
+	}
+	if cap(b.samples) < n {
+		b.samples = make([]Sample, 0, n)
+	}
+	b.samples = b.samples[:0]
+}
+
+// SampleBlock produces n consecutive readings starting at t0 at the
+// sensor's configured sample rate, using each model member's batched
+// synthesis path when it has one. Members implementing MovingSeriesSampler
+// (the ambient sea) see the buoy as a constant-velocity observer: position
+// is linearized over the block from the buoy's true start and end
+// positions, which tracks mooring drift (centimeter-scale per block,
+// oscillating over 30–120 s) to second order — the residual is micrometers,
+// orders of magnitude below the sensor's noise floor. Members with only the
+// fixed-point SurfaceSeriesSampler path are synthesized at the block-start
+// position. Members with neither (ship wakes, whose packet arrival phase is
+// onset-critical for speed estimation) are evaluated per sample at the
+// exact drifted position, matching SampleAt bit for bit.
+//
+// The returned slice aliases buf and is valid until the next SampleBlock
+// call with the same buffers. Noise is drawn from the same sequential
+// stream as SampleAt (x, y, z per sample), so a run assembled from blocks
+// is deterministic: the same seed and block grid always yield bit-identical
+// samples, regardless of which goroutine synthesizes which node's block.
+func (s *Sensor) SampleBlock(model SurfaceModel, t0 float64, n int, buf *BlockBuffers) []Sample {
+	buf.reset(n)
+	rate := s.Accel.SampleRate
+	dt := 1 / rate
+	p0 := s.Buoy.Position(t0)
+	var v geo.Vec2
+	if n > 1 {
+		span := float64(n-1) / rate
+		v = s.Buoy.Position(t0 + span).Sub(p0).Scale(1 / span)
+	}
+	members := Composite{model}
+	if c, ok := model.(Composite); ok {
+		members = c
+	}
+	for _, m := range members {
+		if ms, ok := m.(MovingSeriesSampler); ok {
+			ms.AccumulateSeriesMoving(p0, v, t0, dt, n, buf.accel, buf.slopeX, buf.slopeY)
+			continue
+		}
+		if bs, ok := m.(SurfaceSeriesSampler); ok {
+			bs.AccumulateSeries(p0, t0, dt, n, buf.accel, buf.slopeX, buf.slopeY)
+			continue
+		}
+		for i := 0; i < n; i++ {
+			t := t0 + float64(i)/rate
+			p := s.Buoy.Position(t)
+			buf.accel[i] += m.VerticalAccel(p, t)
+			sl := m.Slope(p, t)
+			buf.slopeX[i] += sl.X
+			buf.slopeY[i] += sl.Y
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)/rate
+		buf.samples = append(buf.samples, s.compose(t, buf.accel[i], geo.Vec2{X: buf.slopeX[i], Y: buf.slopeY[i]}))
+	}
+	return buf.samples
 }
 
 func (s *Sensor) noiseG() float64 {

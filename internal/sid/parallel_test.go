@@ -1,0 +1,63 @@
+package sid
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// runDeployment runs one full ship-crossing deployment with the given
+// worker count and returns everything observable at the sink.
+func runDeployment(t *testing.T, workers int) ([]SinkReport, []Evaluation) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Grid = geo.GridSpec{Rows: 6, Cols: 6, Spacing: 25}
+	cfg.Seed = 106
+	cfg.Workers = workers
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 150))
+	if err := rt.Run(450); err != nil {
+		t.Fatal(err)
+	}
+	return rt.SinkReports(), rt.Evaluations()
+}
+
+// The parallel sample-synthesis pipeline must be invisible in the results:
+// the same seed must produce byte-identical detections whether blocks are
+// synthesized serially or fanned out across a worker pool. This is the
+// determinism contract documented on Config.Workers.
+func TestParallelRunBitIdentical(t *testing.T) {
+	serialReports, serialEvals := runDeployment(t, 1)
+	if len(serialReports) == 0 {
+		t.Fatal("serial run produced no sink reports; the comparison would be vacuous")
+	}
+	for _, workers := range []int{0, 2, 4, 7} {
+		reports, evals := runDeployment(t, workers)
+		if !reflect.DeepEqual(serialReports, reports) {
+			t.Errorf("workers=%d: sink reports differ from serial run\nserial:   %+v\nparallel: %+v",
+				workers, serialReports, reports)
+		}
+		// Evaluation.Err is an error value; compare via message to keep
+		// DeepEqual meaningful.
+		if len(serialEvals) != len(evals) {
+			t.Errorf("workers=%d: %d evaluations vs %d serial", workers, len(evals), len(serialEvals))
+			continue
+		}
+		for i := range evals {
+			if fmt.Sprint(serialEvals[i].Err) != fmt.Sprint(evals[i].Err) {
+				t.Errorf("workers=%d: evaluation %d error %v vs serial %v",
+					workers, i, evals[i].Err, serialEvals[i].Err)
+			}
+			a, b := serialEvals[i], evals[i]
+			a.Err, b.Err = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("workers=%d: evaluation %d differs from serial run", workers, i)
+			}
+		}
+	}
+}

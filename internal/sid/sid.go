@@ -23,6 +23,7 @@ import (
 	"github.com/sid-wsn/sid/internal/detect"
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/ocean"
+	"github.com/sid-wsn/sid/internal/parallel"
 	"github.com/sid-wsn/sid/internal/sensor"
 	"github.com/sid-wsn/sid/internal/sim"
 	"github.com/sid-wsn/sid/internal/speed"
@@ -110,6 +111,12 @@ type Config struct {
 	// be activated and increase the sampling rate"). 0 or 1 disables
 	// duty cycling (all nodes always on).
 	DutyCycle float64
+	// Workers bounds the goroutines used to synthesize per-node sample
+	// blocks inside each sensing batch: 0 uses all cores (GOMAXPROCS),
+	// 1 forces serial synthesis. Every node's samples depend only on its
+	// own random streams, so runs are bit-identical for any Workers
+	// value — the knob trades wall-clock time only.
+	Workers int
 	// Seed drives every random stream in the deployment.
 	Seed int64
 }
@@ -161,6 +168,9 @@ func (c Config) validate() error {
 	if c.DutyCycle < 0 || c.DutyCycle > 1 {
 		return fmt.Errorf("sid: DutyCycle must be in [0,1], got %g", c.DutyCycle)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sid: Workers must be non-negative, got %d", c.Workers)
+	}
 	return nil
 }
 
@@ -185,6 +195,13 @@ type nodeState struct {
 	isHead   bool
 	reports  []cluster.Report
 	deadline float64
+
+	// Batched-synthesis scratch: bufs is reused across batches, block is
+	// the node's freshly synthesized samples for the current batch. Both
+	// are touched by exactly one goroutine per batch (the one that claims
+	// this node in the parallel fan-out), then read serially.
+	bufs  sensor.BlockBuffers
+	block []sensor.Sample
 }
 
 // Runtime is a running SID deployment.
@@ -313,6 +330,16 @@ func (r *Runtime) Evaluations() []Evaluation { return r.evaluations }
 
 // Run drives the deployment for dur seconds of simulated time: sampling,
 // detection, clustering, correlation, and sink reporting all happen inside.
+//
+// Each sensing batch is a single scheduler event processed in three
+// phases: gate (serial — decide which nodes sense, charge idle energy),
+// synthesize (parallel — each sensing node's sample block fans out across
+// Config.Workers goroutines), and consume (serial, ascending node order —
+// detector pushes and protocol reactions). Message deliveries are
+// scheduler events of their own, so no protocol state changes while a
+// batch event runs; the pipeline is therefore observably identical to the
+// fully serial implementation, and runs are bit-identical for any worker
+// count.
 func (r *Runtime) Run(dur float64) error {
 	start := r.sched.Now()
 	end := start + dur
@@ -321,10 +348,21 @@ func (r *Runtime) Run(dur float64) error {
 	if perBatch < 1 {
 		perBatch = 1
 	}
+	active := make([]*nodeState, 0, len(r.nodes))
 	var batchAt func(t float64, sampleIdx int)
 	batchAt = func(t float64, sampleIdx int) {
+		active = active[:0]
 		for _, ns := range r.nodes {
-			r.processBatch(ns, t, sampleIdx, perBatch, sampleRate)
+			if r.senseGate(ns, sampleIdx, perBatch, sampleRate) {
+				active = append(active, ns)
+			}
+		}
+		parallel.ForEach(len(active), r.cfg.Workers, func(i int) {
+			ns := active[i]
+			ns.block = ns.sens.SampleBlock(r.model, t, perBatch, &ns.bufs)
+		})
+		for _, ns := range active {
+			r.consumeBlock(ns)
 		}
 		next := t + float64(perBatch)/sampleRate
 		if next < end {
@@ -338,12 +376,13 @@ func (r *Runtime) Run(dur float64) error {
 	return nil
 }
 
-// processBatch feeds one node's detector with a batch of fresh samples and
-// reacts to completed anomaly windows.
-func (r *Runtime) processBatch(ns *nodeState, t float64, sampleIdx, perBatch int, rate float64) {
+// senseGate decides whether a node senses the current batch, charging idle
+// energy either way. It runs in the serial pre-pass of a batch event, so
+// ordering matches the historical one-node-at-a-time implementation.
+func (r *Runtime) senseGate(ns *nodeState, sampleIdx, perBatch int, rate float64) bool {
 	node := r.net.MustNode(ns.id)
 	if !node.Alive() {
-		return
+		return false
 	}
 	if node.Battery != nil {
 		node.Battery.AccrueIdle(float64(perBatch) / rate)
@@ -353,15 +392,21 @@ func (r *Runtime) processBatch(ns *nodeState, t float64, sampleIdx, perBatch int
 	now := r.sched.Now()
 	woken := now < ns.awakeTil || (ns.inTempCluster && now < ns.membership)
 	if !ns.sentinel && !woken && (sampleIdx/perBatch)%4 != 0 {
-		return
+		return false
 	}
-	for k := 0; k < perBatch; k++ {
-		st := t + float64(k)/rate
-		smp := ns.sens.SampleAt(r.model, st)
+	return true
+}
+
+// consumeBlock feeds one node's freshly synthesized sample block into its
+// detector and reacts to completed anomaly windows. Serial phase: network
+// sends and battery accounting happen here, in node order.
+func (r *Runtime) consumeBlock(ns *nodeState) {
+	node := r.net.MustNode(ns.id)
+	for _, smp := range ns.block {
 		if node.Battery != nil {
 			node.Battery.Consume(wsn.CostSample)
 		}
-		ws, done := ns.det.Push(st, float64(smp.Z))
+		ws, done := ns.det.Push(smp.T, float64(smp.Z))
 		if !done {
 			continue
 		}
@@ -372,6 +417,7 @@ func (r *Runtime) processBatch(ns *nodeState, t float64, sampleIdx, perBatch int
 			r.onNodeDetection(ns, node, ns.det.ReportOf(ws))
 		}
 	}
+	ns.block = nil
 }
 
 // onNodeDetection implements the DetectIntrusion branch of Algorithm SID.

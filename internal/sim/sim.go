@@ -4,6 +4,13 @@
 // so that independent model components (radio loss, clock drift, sensor
 // noise) draw from decoupled sequences and every run is reproducible from
 // a single seed.
+//
+// Events always execute strictly serially, one at a time, on the goroutine
+// that calls Run/Step: the scheduler itself is not safe for concurrent use.
+// An event's callback may fan work out to other goroutines (the sid runtime
+// parallelizes sample-block synthesis this way) as long as it joins them
+// before returning, which keeps the event order — and thus every run —
+// deterministic.
 package sim
 
 import (

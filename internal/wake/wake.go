@@ -274,12 +274,24 @@ func (f Field) VerticalAccel(p geo.Vec2, t float64) float64 {
 // Its magnitude is |∂η/∂x| ≈ k·η with k from the wake frequency.
 func (f Field) Slope(p geo.Vec2, t float64) geo.Vec2 {
 	e := f.Ship.SignalAt(p).Elevation(t)
-	k := ocean.WavenumberFor(f.Ship.WakeFreq())
-	// Propagation direction: away from the sailing line, rotated by Θ.
+	return f.slopeNormal(p).Scale(ocean.WavenumberFor(f.Ship.WakeFreq()) * e)
+}
+
+// slopeNormal is the unit direction the wake slope points along at p: away
+// from the sailing line.
+func (f Field) slopeNormal(p geo.Vec2) geo.Vec2 {
 	side := f.Ship.Track.SignedDist(p)
 	normal := geo.Vec2{X: -f.Ship.Track.Dir.Y, Y: f.Ship.Track.Dir.X}
 	if side < 0 {
 		normal = normal.Scale(-1)
 	}
-	return normal.Scale(k * e)
+	return normal
 }
+
+// Note: Field deliberately does not implement the batched
+// sensor.SurfaceSeriesSampler fast path. The batched path freezes the
+// observation point for a whole block, which is harmless for the ambient
+// sea (statistics-critical) but shifts the wake packet's arrival phase at
+// a drifting buoy — and those onset times are exactly what the four-node
+// speed estimator consumes. The wake is a single packet evaluation per
+// sample, so the exact per-sample path costs little.

@@ -67,6 +67,11 @@ type Config struct {
 	BatteryJ float64
 	// Seed makes the whole deployment reproducible.
 	Seed int64
+	// Workers bounds the goroutines synthesizing per-node sensor blocks:
+	// 0 uses GOMAXPROCS, 1 forces serial execution. Results are
+	// bit-identical for every value — same Seed, same Detections — so the
+	// knob trades only wall-clock time, never reproducibility.
+	Workers int
 }
 
 // DefaultDeployment is a 5×5 grid at 25 m on a slight sea with the paper's
@@ -99,6 +104,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		rc.Energy = wsn.DefaultEnergyConfig()
 	}
 	rc.Seed = cfg.Seed
+	rc.Workers = cfg.Workers
 	rt, err := sid.NewRuntime(rc)
 	if err != nil {
 		return nil, err
