@@ -9,9 +9,10 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Race-checks the worker pool and everything it fans out into; run after
-# touching the parallel pipeline (see docs/PERFORMANCE.md).
+# touching the parallel pipeline (see docs/PERFORMANCE.md). internal/sid
+# alone takes >10 min under -race on a single-core host, hence the timeout.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race -timeout 25m ./internal/...
 
 vet:
 	$(GO) vet ./...

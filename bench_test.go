@@ -20,6 +20,7 @@ import (
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/sim"
 	isid "github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
@@ -469,4 +470,28 @@ func BenchmarkClusterEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkReliableUnicast measures the acknowledged-transport path: one
+// ARQ-protected hop at 20% frame loss, including the ACK frames and any
+// backed-off retransmissions the loss draws force.
+func BenchmarkReliableUnicast(b *testing.B) {
+	radio := wsn.DefaultRadioConfig()
+	radio.LossProb = 0.2
+	radio.Reliable = wsn.DefaultReliableConfig()
+	sched := sim.NewScheduler(1)
+	positions := geo.GridSpec{Rows: 1, Cols: 2, Spacing: 25}.Positions()
+	net, err := wsn.NewNetwork(sched, positions, radio)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Unicast(0, 1, "bench", i); err != nil {
+			b.Fatal(err)
+		}
+		sched.RunAll()
+	}
+	b.ReportMetric(float64(net.Stats.Retransmissions)/float64(b.N), "retrans/op")
+	b.ReportMetric(float64(net.Stats.ReliableDelivered)/float64(b.N), "delivered/op")
 }

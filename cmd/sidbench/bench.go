@@ -13,6 +13,8 @@ import (
 	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/sensor"
 	"github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/sim"
+	"github.com/sid-wsn/sid/internal/wsn"
 )
 
 // benchResult is one measured benchmark in the machine-readable baseline.
@@ -146,6 +148,23 @@ func runBench(path string) error {
 	}
 	serial := add("deployment_serial_60s", "5x5 grid, 60 s simulated, Workers=1", deployment(1))
 	par := add("deployment_parallel_60s", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS", deployment(0))
+
+	radio := wsn.DefaultRadioConfig()
+	radio.LossProb = 0.2
+	radio.Reliable = wsn.DefaultReliableConfig()
+	rsched := sim.NewScheduler(1)
+	rnet, err := wsn.NewNetwork(rsched, geo.GridSpec{Rows: 1, Cols: 2, Spacing: 25}.Positions(), radio)
+	if err != nil {
+		return err
+	}
+	var seq int
+	add("reliable_unicast_20loss", "one ARQ-acked hop at 20% loss, incl. retransmissions", func() {
+		if err := rnet.Unicast(0, 1, "bench", seq); err != nil {
+			panic(err)
+		}
+		seq++
+		rsched.RunAll()
+	})
 
 	out := benchFile{
 		GeneratedBy: "go run ./cmd/sidbench -bench",

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12 or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
@@ -163,6 +163,35 @@ func main() {
 		}
 		printTable("Table II: correlation coefficient WITH ship intrusion", cfg, cells)
 		fmt.Printf("paper: 0.47..0.81, rising with M, falling with rows\n")
+		return nil
+	})
+
+	run("resilience", func() error {
+		cfg := eval.DefaultResilienceConfig()
+		cfg.Seed = *seed
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		points, err := eval.Resilience(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("detection under radio loss and node failures (%d trials/point, paired seeds)\n", cfg.Trials)
+		fmt.Printf("%6s %6s %12s | %7s %7s | %9s %9s\n",
+			"loss", "fail", "transport", "detect", "speed", "failovers", "retrans")
+		for _, p := range points {
+			mode := "fire+forget"
+			if p.Resilient {
+				mode = "resilient"
+			}
+			fmt.Printf("%5.0f%% %5.0f%% %12s | %6.0f%% %6.0f%% | %9d %9d\n",
+				100*p.LossRate, 100*p.FailFrac, mode,
+				100*p.DetectionRatio, 100*p.SpeedRatio, p.Failovers, p.Retransmissions)
+		}
+		s := eval.Summarize(points)
+		fmt.Printf("resilient: baseline %.0f%%, worst %.0f%%; fire+forget: baseline %.0f%%, worst %.0f%%\n",
+			100*s.ResilientBaseline, 100*s.ResilientWorst,
+			100*s.UnreliableBaseline, 100*s.UnreliableWorst)
 		return nil
 	})
 

@@ -160,6 +160,17 @@ func Evaluate(reports []Report, cfg Config) (Result, error) {
 	if len(reports) == 0 {
 		return Result{}, fmt.Errorf("cluster: no reports to evaluate")
 	}
+	if len(reports) == 1 {
+		// Degraded mode (failures left one survivor): no travel line can be
+		// fitted and a lone report carries no ordering evidence. Eqs. 9–13
+		// score vacuous 1s, the row gates cannot pass, and the head gets a
+		// well-formed non-detection instead of an error.
+		return Result{
+			C: 1, CNt: 1, CNe: 1,
+			RowsTotal: 1, SingletonRows: 1, Reports: 1, Sweep: 1,
+			TravelLine: geo.NewLine(reports[0].Pos, geo.Vec2{X: 1}),
+		}, nil
+	}
 	lines, err := CandidateTravelLines(reports)
 	if err != nil {
 		return Result{}, err

@@ -258,8 +258,17 @@ func TestTravelLineNeedsTwoReports(t *testing.T) {
 	if _, err := EstimateTravelLine(reports); err == nil {
 		t.Error("expected travel-line estimation error with one report")
 	}
-	if _, err := Evaluate(reports, Config{MinRows: 1, CThreshold: 0.1, RowSpacing: 25}); err == nil {
-		t.Error("Evaluate should propagate the estimation error")
+	// Evaluate degrades instead of erroring: a lone surviving report is a
+	// well-formed non-detection (vacuous C with failing row gates).
+	res, err := Evaluate(reports, Config{MinRows: 1, CThreshold: 0.1, RowSpacing: 25})
+	if err != nil {
+		t.Fatalf("Evaluate with one report should degrade, got error: %v", err)
+	}
+	if res.Detected {
+		t.Error("a lone report must never confirm a detection")
+	}
+	if res.Reports != 1 || res.RowsUsed != 0 || res.SingletonRows != 1 {
+		t.Errorf("degraded result malformed: %+v", res)
 	}
 }
 

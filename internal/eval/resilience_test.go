@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+func TestResilienceShape(t *testing.T) {
+	cfg := ResilienceConfig{
+		Grid:      geo.GridSpec{Rows: 4, Cols: 4, Spacing: 25},
+		LossRates: []float64{0},
+		FailFracs: []float64{0},
+		Trials:    1,
+		SpeedKn:   10,
+		Seed:      3,
+	}
+	pts, err := Resilience(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sweep cell, both arms.
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].Resilient || !pts[1].Resilient {
+		t.Errorf("arm order = %v, %v; want fire+forget then resilient", pts[0].Resilient, pts[1].Resilient)
+	}
+	for _, p := range pts {
+		if p.Trials != 1 {
+			t.Errorf("trials = %d", p.Trials)
+		}
+		if p.DetectionRatio < 0 || p.DetectionRatio > 1 || p.SpeedRatio > p.DetectionRatio {
+			t.Errorf("ratios out of range: detect=%v speed=%v", p.DetectionRatio, p.SpeedRatio)
+		}
+	}
+	// A lossless, failure-free crossing must be detected by both arms.
+	if pts[0].DetectionRatio != 1 || pts[1].DetectionRatio != 1 {
+		t.Errorf("lossless detection = %v / %v, want 1 / 1", pts[0].DetectionRatio, pts[1].DetectionRatio)
+	}
+	s := Summarize(pts)
+	if s.ResilientBaseline != 1 || s.UnreliableBaseline != 1 {
+		t.Errorf("summary baselines = %+v", s)
+	}
+}
+
+func TestResilienceValidation(t *testing.T) {
+	if _, err := Resilience(ResilienceConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/sid-wsn/sid/internal/cluster"
 	"github.com/sid-wsn/sid/internal/detect"
+	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/parallel"
@@ -78,8 +79,17 @@ type Config struct {
 	Detect detect.Config
 	// Cluster configures the correlation test.
 	Cluster cluster.Config
-	// Radio configures the network links.
+	// Radio configures the network links (including the optional reliable
+	// per-hop transport, Radio.Reliable).
 	Radio wsn.RadioConfig
+	// Failover configures cluster-head failover (heartbeats, deterministic
+	// re-election, one-time deadline extension). The zero value disables
+	// it, keeping runs bit-identical to the pre-failover protocol.
+	Failover FailoverConfig
+	// Faults is a deterministic fault plan (node crashes/revivals, battery
+	// depletion, clock steps, burst loss) applied at construction. The
+	// zero value injects nothing.
+	Faults fault.Plan
 	// ClusterHops is the temporary-cluster radius (6 in Algorithm SID).
 	ClusterHops int
 	// CollectWindow is how long a head collects reports before evaluating,
@@ -171,7 +181,10 @@ func (c Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("sid: Workers must be non-negative, got %d", c.Workers)
 	}
-	return nil
+	if err := c.Failover.validate(); err != nil {
+		return err
+	}
+	return c.Faults.Validate(c.Grid.NumNodes())
 }
 
 // nodeState is the per-node SID protocol state (Algorithm SID's variables).
@@ -195,6 +208,23 @@ type nodeState struct {
 	isHead   bool
 	reports  []cluster.Report
 	deadline float64
+	// lastReportAt is when the head last accepted a report; extended marks
+	// its one-time deadline extension as spent.
+	lastReportAt float64
+	extended     bool
+
+	// failover state: lastBeat is the last proof of life from the head;
+	// electEpoch invalidates stale watchdog/candidacy closures (every
+	// newer observation bumps it); lastReport/hasReport retain the node's
+	// own report for re-sending to a replacement head.
+	lastBeat   float64
+	electEpoch int
+	lastReport ReportPayload
+	hasReport  bool
+
+	// sendErrs counts this node's synchronous send failures (no route to
+	// the destination at send time).
+	sendErrs int
 
 	// Batched-synthesis scratch: bufs is reused across batches, block is
 	// the node's freshly synthesized samples for the current batch. Both
@@ -216,10 +246,40 @@ type Runtime struct {
 
 	sinkReports []SinkReport
 	evaluations []Evaluation
+	sendErrors  int
 	// Cancelled counts temporary clusters cancelled as false alarms.
 	Cancelled int
 	// ClustersFormed counts temporary cluster setups.
 	ClustersFormed int
+	// Failovers counts successful cluster-head takeovers.
+	Failovers int
+	// DeadlineExtensions counts one-time collection-deadline extensions.
+	DeadlineExtensions int
+}
+
+// countSend books a synchronous send failure (typically: no route to the
+// destination because intermediate nodes died) against the sending node
+// and the deployment. Asynchronous losses are the radio stats' business;
+// these are the errors the protocol used to discard silently.
+func (r *Runtime) countSend(id wsn.NodeID, err error) {
+	if err != nil {
+		r.sendErrors++
+		r.nodes[id].sendErrs++
+	}
+}
+
+// SendErrors returns the deployment-wide count of synchronous send
+// failures (routing errors at send time — distinct from radio frame loss).
+func (r *Runtime) SendErrors() int { return r.sendErrors }
+
+// NodeSendErrors returns per-node synchronous send-failure counts,
+// indexed by node ID.
+func (r *Runtime) NodeSendErrors() []int {
+	out := make([]int, len(r.nodes))
+	for i, ns := range r.nodes {
+		out[i] = ns.sendErrs
+	}
+	return out
 }
 
 // NewRuntime builds the deployment: ocean, buoys, sensors, detectors,
@@ -288,6 +348,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r.tree = tree
+	if !cfg.Faults.Empty() {
+		if err := fault.Apply(cfg.Faults, net); err != nil {
+			return nil, err
+		}
+	}
 	net.EnableTimeSync()
 	if _, err := net.StartTimeSync(tree, 0.5); err != nil {
 		return nil, err
@@ -430,12 +495,14 @@ func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Repo
 		Onset:  node.LocalTime(rep.Onset), // timestamps cross the network in local time
 		Energy: rep.Energy,
 	}
+	ns.lastReport = payload
+	ns.hasReport = true
 	if ns.inTempCluster && now < ns.membership {
 		if ns.isHead {
 			r.acceptReport(ns, payload)
 			return
 		}
-		_ = r.net.SendMultiHop(ns.id, ns.headID, KindReport, payload)
+		r.countSend(ns.id, r.net.SendMultiHop(ns.id, ns.headID, KindReport, payload))
 		return
 	}
 	// SetUpTempCluster: become head, invite neighbors within six hops.
@@ -445,11 +512,15 @@ func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Repo
 	ns.membership = now + r.cfg.CollectWindow
 	ns.deadline = ns.membership
 	ns.reports = ns.reports[:0]
+	ns.extended = false
 	r.ClustersFormed++
 	r.acceptReport(ns, payload)
-	_ = r.net.Flood(ns.id, r.cfg.ClusterHops, KindInvite, ns.id)
+	r.countSend(ns.id, r.net.Flood(ns.id, r.cfg.ClusterHops, KindInvite, ns.id))
 	deadline := ns.deadline
 	_ = r.sched.Schedule(deadline, func() { r.headDeadline(ns, deadline) })
+	if r.cfg.Failover.Enabled {
+		r.startHeartbeats(ns, deadline)
+	}
 }
 
 // onMessage dispatches SID protocol messages.
@@ -471,6 +542,22 @@ func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
 		ns.headID = head
 		ns.membership = r.sched.Now() + r.cfg.CollectWindow
 		ns.awakeTil = ns.membership // wake a sleeping node for the window
+		r.observeHead(ns)
+	case KindHeartbeat:
+		head, ok := msg.Payload.(wsn.NodeID)
+		if !ok {
+			return
+		}
+		if ns.inTempCluster && !ns.isHead && head == ns.headID &&
+			r.sched.Now() < ns.membership {
+			r.observeHead(ns)
+		}
+	case KindTakeover:
+		payload, ok := msg.Payload.(TakeoverPayload)
+		if !ok {
+			return
+		}
+		r.onTakeover(ns, payload)
 	case KindReport:
 		payload, ok := msg.Payload.(ReportPayload)
 		if !ok {
@@ -506,6 +593,7 @@ const eventGap = 15.0
 // exceeds the threshold", which is the wake-front arrival the speed
 // estimator needs.
 func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
+	head.lastReportAt = r.sched.Now()
 	for i := range head.reports {
 		if head.reports[i].Node == int(p.Node) {
 			cur := &head.reports[i]
@@ -538,6 +626,37 @@ func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
 // closes.
 func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 	if !ns.isHead || ns.deadline != deadline {
+		return
+	}
+	if !r.net.MustNode(ns.id).Alive() {
+		// The head died holding the role (no failover, or no member left
+		// to take over): the collection is lost, not evaluated.
+		ns.isHead = false
+		ns.inTempCluster = false
+		ns.headID = -1
+		reports := ns.reports
+		ns.reports = nil
+		r.Cancelled++
+		r.evaluations = append(r.evaluations, Evaluation{
+			Head: ns.id, Reports: reports,
+			Err: fmt.Errorf("sid: head %d dead at collection deadline", ns.id),
+		})
+		return
+	}
+	// One-time extension when reports are still trickling in — typically
+	// because retransmissions or a failover delayed the tail.
+	fo := r.cfg.Failover
+	if fo.Enabled && fo.ExtendWindow > 0 && !ns.extended &&
+		len(ns.reports) > 0 && deadline-ns.lastReportAt <= fo.ExtendWindow {
+		ns.extended = true
+		next := deadline + fo.ExtendWindow
+		ns.deadline = next
+		ns.membership = next
+		r.DeadlineExtensions++
+		_ = r.sched.Schedule(next, func() { r.headDeadline(ns, next) })
+		if fo.HeartbeatPeriod > 0 {
+			r.startHeartbeats(ns, next)
+		}
 		return
 	}
 	ns.isHead = false
@@ -573,7 +692,19 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		sink.Speed = est.Speed
 		sink.Heading = est.Alpha
 	}
-	_ = r.net.SendToRoot(r.tree, ns.id, KindSinkReport, sink)
+	tree := r.tree
+	if r.cfg.Failover.Enabled {
+		// Route repair: the BFS tree was built at deployment time; nodes
+		// that died since would silently eat the confirmation. Rebuilding
+		// over the alive topology models a self-healing collection tree
+		// (CTP-style); it is part of the resilience layer, so plain runs
+		// keep the paper's static tree.
+		if repaired, err := r.net.BuildTree(r.cfg.SinkID); err == nil {
+			r.tree = repaired
+			tree = repaired
+		}
+	}
+	r.countSend(ns.id, r.net.SendToRoot(tree, ns.id, KindSinkReport, sink))
 }
 
 // EnergyReport summarizes battery state across the deployment.

@@ -99,6 +99,10 @@ func (b *Battery) drain(kind CostKind, j float64) {
 	b.used[kind] += j
 }
 
+// Deplete drains the battery to empty immediately, booking the loss as
+// idle draw (fault injection: cell failure, leakage, cold).
+func (b *Battery) Deplete() { b.drain(CostIdle, b.remaining) }
+
 // Remaining returns the remaining energy in joules.
 func (b *Battery) Remaining() float64 { return b.remaining }
 

@@ -38,6 +38,10 @@ type Message struct {
 	To NodeID
 	// TTL is the remaining hop budget for flooded messages.
 	TTL int
+	// ARQ is the per-hop transmission ID used by the reliable transport to
+	// match ACKs to data frames and suppress retransmitted duplicates; 0
+	// for fire-and-forget frames.
+	ARQ uint64
 	// Payload carries application data.
 	Payload interface{}
 }
@@ -58,17 +62,31 @@ type Node struct {
 
 	net       *Network
 	alive     bool
+	epoch     int // incarnation counter; bumped by Fail
 	protocols map[string]Handler
 	seen      map[uint64]struct{}
+	seenARQ   map[uint64]struct{}
 }
 
 // Alive reports whether the node is powered and functioning.
 func (n *Node) Alive() bool { return n.alive && (n.Battery == nil || !n.Battery.Empty()) }
 
-// Fail kills the node (hardware fault injection).
-func (n *Node) Fail() { n.alive = false }
+// Fail kills the node (hardware fault injection). Failure is an
+// incarnation boundary: frames already in flight toward the node are lost
+// even if it is revived before they would arrive (the radio was down), and
+// timers armed against the previous incarnation must check Alive/epoch and
+// no-op. Transmissions started after a Revive reach the new incarnation
+// normally.
+func (n *Node) Fail() {
+	n.alive = false
+	n.epoch++
+}
 
-// Revive restores a failed node (but not an empty battery).
+// Revive restores a failed node as a fresh incarnation: alive again with
+// the same clock, battery (an empty battery still keeps it dead), position,
+// and protocol handlers. Duplicate-suppression history (flood and ARQ seen
+// sets) survives the reboot, so retransmissions of frames it already
+// consumed are still suppressed.
 func (n *Node) Revive() { n.alive = true }
 
 // Network returns the network the node belongs to.
@@ -97,8 +115,14 @@ type RadioConfig struct {
 	// JitterStd is the standard deviation of MAC backoff jitter (seconds).
 	JitterStd float64
 	// Retries is the number of link-layer retransmissions for unicast
-	// frames (flooded frames are fire-and-forget).
+	// frames (flooded frames are fire-and-forget). These are blind
+	// same-instant retries with no acknowledgment — the fire-and-forget
+	// baseline; see Reliable for the acknowledged transport.
 	Retries int
+	// Reliable configures the per-hop ACK/retransmission transport. The
+	// zero value disables it, keeping the fire-and-forget semantics (and
+	// bit-identical runs) of earlier versions.
+	Reliable ReliableConfig
 }
 
 // DefaultRadioConfig returns parameters typical of an iMote2-class radio in
@@ -120,7 +144,7 @@ func (c RadioConfig) validate() error {
 	if c.Retries < 0 {
 		return fmt.Errorf("wsn: retries must be non-negative, got %d", c.Retries)
 	}
-	return nil
+	return c.Reliable.validate()
 }
 
 // Network is a deployed WSN: nodes, connectivity, radio model and stats.
@@ -133,6 +157,18 @@ type Network struct {
 	seq       uint64
 	rng       *rand.Rand
 
+	// lossModel, when set, replaces the Bernoulli LossProb draw (fault
+	// injection plugs burst-loss channels in here). It is queried once per
+	// frame with the current simulation time.
+	lossModel func(now float64) bool
+
+	// arqSeq numbers per-hop reliable transmissions; arqRNG drives the
+	// deterministic backoff jitter (its own stream, so enabling the
+	// reliable path never perturbs the radio loss sequence).
+	arqSeq  uint64
+	arqRNG  *rand.Rand
+	pending map[uint64]struct{}
+
 	// Stats counts link-level activity.
 	Stats Stats
 }
@@ -143,7 +179,20 @@ type Stats struct {
 	Delivered int // frames delivered to a handler
 	Lost      int // frames dropped by the loss process
 	Duplicate int // flooded frames suppressed as duplicates
+
+	// Reliable-transport counters (zero unless Radio.Reliable is enabled).
+	Acks              int // ACK frames transmitted
+	Retransmissions   int // timeout-driven data-frame retransmissions
+	ReliableDelivered int // reliable hops that reached their receiver
+	ReliableDropped   int // reliable hops abandoned after MaxRetrans
 }
+
+// SetLossModel replaces the radio's Bernoulli frame-loss draw with a custom
+// channel model (e.g. a Gilbert–Elliott burst channel from internal/fault).
+// The function is called once per transmitted frame with the current
+// simulation time and returns true when the frame is lost. Passing nil
+// restores the Bernoulli model.
+func (w *Network) SetLossModel(m func(now float64) bool) { w.lossModel = m }
 
 // NewNetwork deploys nodes at the given positions. Node i gets ID i.
 // Clock imperfections are drawn from the scheduler's "clock" stream:
@@ -159,9 +208,11 @@ func NewNetwork(sched *sim.Scheduler, positions []geo.Vec2, radio RadioConfig) (
 		return nil, err
 	}
 	net := &Network{
-		Sched: sched,
-		Radio: radio,
-		rng:   sched.RNG("wsn.radio"),
+		Sched:   sched,
+		Radio:   radio,
+		rng:     sched.RNG("wsn.radio"),
+		arqRNG:  sched.RNG("wsn.arq"),
+		pending: make(map[uint64]struct{}),
 	}
 	clockRNG := sched.RNG("wsn.clock")
 	const maxOffset = 0.05   // ±50 ms initial offset
@@ -178,6 +229,7 @@ func NewNetwork(sched *sim.Scheduler, positions []geo.Vec2, radio RadioConfig) (
 			alive:     true,
 			protocols: make(map[string]Handler),
 			seen:      make(map[uint64]struct{}),
+			seenARQ:   make(map[uint64]struct{}),
 		}
 		net.nodes = append(net.nodes, n)
 	}
@@ -237,21 +289,17 @@ func (w *Network) NextSeq() uint64 {
 	return w.seq
 }
 
-// transmit models one frame over one link: loss, delay, energy, delivery.
-// Returns false if the frame was dropped at send time (dead endpoints or
-// loss); delivery itself is asynchronous.
-func (w *Network) transmit(from, to *Node, msg Message) bool {
-	if !from.Alive() {
-		return false
+// lossy draws the frame-loss decision: the pluggable loss model when set,
+// otherwise Bernoulli(LossProb) from the radio stream.
+func (w *Network) lossy() bool {
+	if w.lossModel != nil {
+		return w.lossModel(w.Sched.Now())
 	}
-	w.Stats.Sent++
-	if from.Battery != nil {
-		from.Battery.Consume(CostTx)
-	}
-	if w.rng.Float64() < w.Radio.LossProb {
-		w.Stats.Lost++
-		return false
-	}
+	return w.rng.Float64() < w.Radio.LossProb
+}
+
+// frameDelay draws one frame's propagation + MAC-jitter latency.
+func (w *Network) frameDelay() float64 {
 	delay := w.Radio.BaseDelay
 	if w.Radio.JitterStd > 0 {
 		j := w.rng.NormFloat64() * w.Radio.JitterStd
@@ -260,9 +308,31 @@ func (w *Network) transmit(from, to *Node, msg Message) bool {
 		}
 		delay += j
 	}
+	return delay
+}
+
+// transmit models one frame over one link: loss, delay, energy, delivery.
+// Returns false if the frame was dropped at send time (dead endpoints or
+// loss); delivery itself is asynchronous. The receiver's incarnation is
+// captured at send time: a frame in flight when the receiver fails is lost
+// even if the node revives before the frame would have arrived.
+func (w *Network) transmit(from, to *Node, msg Message) bool {
+	if !from.Alive() {
+		return false
+	}
+	w.Stats.Sent++
+	if from.Battery != nil {
+		from.Battery.Consume(CostTx)
+	}
+	if w.lossy() {
+		w.Stats.Lost++
+		return false
+	}
+	delay := w.frameDelay()
 	msg.From = from.ID
+	toEpoch := to.epoch
 	err := w.Sched.After(delay, func() {
-		if !to.Alive() {
+		if !to.Alive() || to.epoch != toEpoch {
 			return
 		}
 		if to.Battery != nil {
@@ -284,8 +354,12 @@ func (w *Network) deliver(n *Node, msg Message) {
 	}
 }
 
-// Unicast sends msg from -> to over a direct link with link-layer retries.
-// It fails immediately if the nodes are not in range.
+// Unicast sends msg from -> to over a direct link. With the fire-and-forget
+// radio it makes Retries+1 blind same-instant attempts and reports loss of
+// all of them as an error; with Radio.Reliable enabled it hands the frame
+// to the acknowledged transport (asynchronous — persistent loss then shows
+// up in Stats.ReliableDropped, not in the return value). It fails
+// immediately if the nodes are not in range.
 func (w *Network) Unicast(from, to NodeID, kind string, payload interface{}) error {
 	src, err := w.Node(from)
 	if err != nil {
@@ -304,6 +378,10 @@ func (w *Network) Unicast(from, to NodeID, kind string, payload interface{}) err
 		Src:     from,
 		To:      to,
 		Payload: payload,
+	}
+	if w.Radio.Reliable.Enabled {
+		w.sendReliable(src, dst, msg, func(n *Node, m Message) { w.deliver(n, m) })
+		return nil
 	}
 	for attempt := 0; attempt <= w.Radio.Retries; attempt++ {
 		if w.transmit(src, dst, msg) {
@@ -352,22 +430,16 @@ func (w *Network) transmitFlood(from, to *Node, msg Message) {
 	if from.Battery != nil {
 		from.Battery.Consume(CostTx)
 	}
-	if w.rng.Float64() < w.Radio.LossProb {
+	if w.lossy() {
 		w.Stats.Lost++
 		return
 	}
-	delay := w.Radio.BaseDelay
-	if w.Radio.JitterStd > 0 {
-		j := w.rng.NormFloat64() * w.Radio.JitterStd
-		if j < 0 {
-			j = -j
-		}
-		delay += j
-	}
+	delay := w.frameDelay()
 	fwd := msg
 	fwd.From = from.ID
+	toEpoch := to.epoch
 	_ = w.Sched.After(delay, func() {
-		if !to.Alive() {
+		if !to.Alive() || to.epoch != toEpoch {
 			return
 		}
 		if to.Battery != nil {

@@ -1,0 +1,188 @@
+package wsn
+
+import "fmt"
+
+// Reliable transport: a per-hop stop-and-wait ARQ layered under the unicast
+// and multi-hop send paths. Every data frame carries a hop-unique ARQ ID;
+// the receiver acknowledges it (ACKs ride the same lossy channel and cost
+// the same energy as any frame) and suppresses retransmitted duplicates.
+// The sender retransmits on a deterministic exponential-backoff timer with
+// jitter drawn from its own RNG stream — enabling the transport therefore
+// never perturbs the radio loss sequence of fire-and-forget runs — and
+// gives up after a bounded number of retransmissions, counting the drop in
+// Stats.ReliableDropped. This is §IV-C's answer to lost reports: the four
+// timestamp reports the speed budget assumes (Fig. 12) actually arrive.
+
+// ReliableConfig parametrizes the per-hop ACK/retransmission transport.
+// The zero value disables it.
+type ReliableConfig struct {
+	// Enabled turns the acknowledged transport on for Unicast, SendToRoot
+	// and SendMultiHop (floods stay fire-and-forget: invites are
+	// redundant by construction).
+	Enabled bool
+	// MaxRetrans bounds the retransmissions per hop after the first
+	// attempt; the hop is abandoned (and counted in ReliableDropped) when
+	// they are exhausted.
+	MaxRetrans int
+	// AckTimeout is the wait before the first retransmission, in seconds.
+	// It must exceed one frame round trip (2·BaseDelay plus jitter tails).
+	AckTimeout float64
+	// Backoff multiplies the timeout after every retransmission (≥ 1);
+	// spacing retries out lets the transport ride out burst losses that
+	// defeat blind same-instant retries.
+	Backoff float64
+	// MaxTimeout caps the backed-off timeout, in seconds.
+	MaxTimeout float64
+	// JitterFrac randomizes each timeout by ±JitterFrac·timeout using the
+	// dedicated "wsn.arq" stream, de-synchronizing retransmission storms
+	// deterministically.
+	JitterFrac float64
+}
+
+// DefaultReliableConfig returns an enabled transport tuned for the default
+// radio (5 ms links): first retransmission after 60 ms, doubling to a cap
+// of 1 s, 4 retransmissions, ±20% jitter.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{
+		Enabled:    true,
+		MaxRetrans: 4,
+		AckTimeout: 0.06,
+		Backoff:    2,
+		MaxTimeout: 1.0,
+		JitterFrac: 0.2,
+	}
+}
+
+func (c ReliableConfig) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.MaxRetrans < 0 {
+		return fmt.Errorf("wsn: reliable MaxRetrans must be non-negative, got %d", c.MaxRetrans)
+	}
+	if c.AckTimeout <= 0 {
+		return fmt.Errorf("wsn: reliable AckTimeout must be positive, got %g", c.AckTimeout)
+	}
+	if c.Backoff < 1 {
+		return fmt.Errorf("wsn: reliable Backoff must be ≥ 1, got %g", c.Backoff)
+	}
+	if c.MaxTimeout < c.AckTimeout {
+		return fmt.Errorf("wsn: reliable MaxTimeout %g below AckTimeout %g", c.MaxTimeout, c.AckTimeout)
+	}
+	if c.JitterFrac < 0 || c.JitterFrac >= 1 {
+		return fmt.Errorf("wsn: reliable JitterFrac must be in [0,1), got %g", c.JitterFrac)
+	}
+	return nil
+}
+
+// timeout returns the backed-off, jittered wait before retransmission k+1
+// (k = attempts already made beyond the first).
+func (w *Network) arqTimeout(k int) float64 {
+	rc := w.Radio.Reliable
+	t := rc.AckTimeout
+	for i := 0; i < k; i++ {
+		t *= rc.Backoff
+		if t >= rc.MaxTimeout {
+			t = rc.MaxTimeout
+			break
+		}
+	}
+	if rc.JitterFrac > 0 {
+		t *= 1 + rc.JitterFrac*(2*w.arqRNG.Float64()-1)
+	}
+	return t
+}
+
+// sendReliable moves msg over the from -> to link with the stop-and-wait
+// ARQ and hands it to cont exactly once on delivery. Loss of all attempts
+// is counted in Stats.ReliableDropped; there is no failure callback — the
+// upper layers are timeout-driven (collection windows, failover), not
+// completion-driven, exactly like a real WSN stack.
+func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Message)) {
+	w.arqSeq++
+	id := w.arqSeq
+	msg.ARQ = id
+	msg.From = from.ID
+	w.pending[id] = struct{}{}
+	rc := w.Radio.Reliable
+	var attempt func(k int)
+	attempt = func(k int) {
+		if _, waiting := w.pending[id]; !waiting {
+			return // ACKed while the timer was armed
+		}
+		if !from.Alive() {
+			delete(w.pending, id)
+			w.Stats.ReliableDropped++
+			return
+		}
+		if k > 0 {
+			w.Stats.Retransmissions++
+		}
+		w.Stats.Sent++
+		if from.Battery != nil {
+			from.Battery.Consume(CostTx)
+		}
+		if w.lossy() {
+			w.Stats.Lost++
+		} else {
+			toEpoch := to.epoch
+			_ = w.Sched.After(w.frameDelay(), func() {
+				if !to.Alive() || to.epoch != toEpoch {
+					return
+				}
+				if to.Battery != nil {
+					to.Battery.Consume(CostRx)
+				}
+				_, dup := to.seenARQ[id]
+				to.seenARQ[id] = struct{}{}
+				w.sendAck(to, from, id)
+				if !dup {
+					w.Stats.ReliableDelivered++
+					cont(to, msg)
+				}
+			})
+		}
+		wait := w.arqTimeout(k)
+		if k < rc.MaxRetrans {
+			_ = w.Sched.After(wait, func() { attempt(k + 1) })
+			return
+		}
+		_ = w.Sched.After(wait, func() {
+			if _, waiting := w.pending[id]; waiting {
+				delete(w.pending, id)
+				// Count a drop only if the receiver never saw the frame:
+				// when only the ACKs were lost the payload did arrive, and
+				// the simulation's omniscient stats should say so.
+				if _, got := to.seenARQ[id]; !got {
+					w.Stats.ReliableDropped++
+				}
+			}
+		})
+	}
+	attempt(0)
+}
+
+// sendAck transmits one acknowledgment frame from -> to. ACKs are
+// fire-and-forget (a lost ACK just costs one retransmission, which the
+// receiver's duplicate suppression absorbs).
+func (w *Network) sendAck(from, to *Node, id uint64) {
+	w.Stats.Sent++
+	w.Stats.Acks++
+	if from.Battery != nil {
+		from.Battery.Consume(CostTx)
+	}
+	if w.lossy() {
+		w.Stats.Lost++
+		return
+	}
+	toEpoch := to.epoch
+	_ = w.Sched.After(w.frameDelay(), func() {
+		if !to.Alive() || to.epoch != toEpoch {
+			return
+		}
+		if to.Battery != nil {
+			to.Battery.Consume(CostRx)
+		}
+		delete(w.pending, id)
+	})
+}

@@ -99,13 +99,15 @@ func (w *Network) forwardAlongTree(t *Tree, cur *Node, msg Message) {
 		return
 	}
 	next := w.nodes[parent]
-	// Link-layer retries.
+	cont := func(n *Node, m Message) { w.forwardAlongTree(t, n, m) }
+	if w.Radio.Reliable.Enabled {
+		w.sendReliable(cur, next, msg, cont)
+		return
+	}
+	// Blind link-layer retries.
 	sent := false
-	relay := msg
 	for attempt := 0; attempt <= w.Radio.Retries && !sent; attempt++ {
-		sent = w.transmitRelay(cur, next, relay, func(n *Node, m Message) {
-			w.forwardAlongTree(t, n, m)
-		})
+		sent = w.transmitRelay(cur, next, msg, cont)
 	}
 }
 
@@ -119,21 +121,14 @@ func (w *Network) transmitRelay(from, to *Node, msg Message, cont func(*Node, Me
 	if from.Battery != nil {
 		from.Battery.Consume(CostTx)
 	}
-	if w.rng.Float64() < w.Radio.LossProb {
+	if w.lossy() {
 		w.Stats.Lost++
 		return false
 	}
-	delay := w.Radio.BaseDelay
-	if w.Radio.JitterStd > 0 {
-		j := w.rng.NormFloat64() * w.Radio.JitterStd
-		if j < 0 {
-			j = -j
-		}
-		delay += j
-	}
 	msg.From = from.ID
-	_ = w.Sched.After(delay, func() {
-		if !to.Alive() {
+	toEpoch := to.epoch
+	_ = w.Sched.After(w.frameDelay(), func() {
+		if !to.Alive() || to.epoch != toEpoch {
 			return
 		}
 		if to.Battery != nil {
@@ -180,11 +175,14 @@ func (w *Network) relayAlongPath(path []NodeID, idx int, cur *Node, msg Message)
 		return
 	}
 	next := w.nodes[path[idx+1]]
+	cont := func(n *Node, m Message) { w.relayAlongPath(path, idx+1, n, m) }
+	if w.Radio.Reliable.Enabled {
+		w.sendReliable(cur, next, msg, cont)
+		return
+	}
 	sent := false
 	for attempt := 0; attempt <= w.Radio.Retries && !sent; attempt++ {
-		sent = w.transmitRelay(cur, next, msg, func(n *Node, m Message) {
-			w.relayAlongPath(path, idx+1, n, m)
-		})
+		sent = w.transmitRelay(cur, next, msg, cont)
 	}
 }
 

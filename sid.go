@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/wake"
@@ -72,6 +73,84 @@ type Config struct {
 	// bit-identical for every value — same Seed, same Detections — so the
 	// knob trades only wall-clock time, never reproducibility.
 	Workers int
+	// ReliableTransport layers a per-hop ACK/retransmission protocol
+	// (deterministic exponential backoff, bounded retries) under every
+	// unicast and multi-hop send. Off by default: fire-and-forget runs
+	// stay bit-identical to earlier releases.
+	ReliableTransport bool
+	// Failover makes temporary cluster heads lease their role via
+	// heartbeats; when a head dies mid-collection the members elect the
+	// lowest alive ID as replacement and re-send their reports. Off by
+	// default.
+	Failover bool
+	// Faults injects a deterministic failure schedule (node crashes,
+	// battery depletion, clock steps, burst loss). The zero value injects
+	// nothing.
+	Faults FaultPlan
+}
+
+// FaultPlan is a declarative, deterministic failure schedule. Identical
+// plans on identical seeds reproduce identical runs.
+type FaultPlan struct {
+	// Crashes schedules node failures (and optional revivals).
+	Crashes []NodeCrash
+	// Depletions empties node batteries at scheduled times.
+	Depletions []BatteryDepletion
+	// ClockSteps knocks node clocks by fixed offsets.
+	ClockSteps []ClockStep
+	// Burst replaces the Bernoulli radio loss with a Gilbert–Elliott
+	// burst-loss channel when non-nil.
+	Burst *BurstLoss
+}
+
+// NodeCrash takes a node down at At seconds; ReviveAt > At restores it.
+type NodeCrash struct {
+	Node     int
+	At       float64
+	ReviveAt float64
+}
+
+// BatteryDepletion empties a node's battery at At seconds (nodes without a
+// battery are crashed permanently instead).
+type BatteryDepletion struct {
+	Node int
+	At   float64
+}
+
+// ClockStep adds OffsetS to a node's clock at At seconds.
+type ClockStep struct {
+	Node    int
+	At      float64
+	OffsetS float64
+}
+
+// BurstLoss is a two-state Gilbert–Elliott burst-loss channel: good and
+// bad states with mean sojourn times MeanGoodS/MeanBadS and per-frame loss
+// probabilities LossGood/LossBad.
+type BurstLoss struct {
+	MeanGoodS, MeanBadS float64
+	LossGood, LossBad   float64
+}
+
+// internalPlan converts the public fault plan to the internal one.
+func (p FaultPlan) internalPlan() fault.Plan {
+	var out fault.Plan
+	for _, c := range p.Crashes {
+		out.Crashes = append(out.Crashes, fault.Crash{Node: c.Node, At: c.At, ReviveAt: c.ReviveAt})
+	}
+	for _, d := range p.Depletions {
+		out.Depletions = append(out.Depletions, fault.Depletion{Node: d.Node, At: d.At})
+	}
+	for _, s := range p.ClockSteps {
+		out.ClockSteps = append(out.ClockSteps, fault.ClockStep{Node: s.Node, At: s.At, Offset: s.OffsetS})
+	}
+	if p.Burst != nil {
+		out.Burst = &fault.BurstLoss{
+			MeanGoodS: p.Burst.MeanGoodS, MeanBadS: p.Burst.MeanBadS,
+			LossGood: p.Burst.LossGood, LossBad: p.Burst.LossBad,
+		}
+	}
+	return out
 }
 
 // DefaultDeployment is a 5×5 grid at 25 m on a slight sea with the paper's
@@ -105,6 +184,13 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	}
 	rc.Seed = cfg.Seed
 	rc.Workers = cfg.Workers
+	if cfg.ReliableTransport {
+		rc.Radio.Reliable = wsn.DefaultReliableConfig()
+	}
+	if cfg.Failover {
+		rc.Failover = sid.DefaultFailoverConfig()
+	}
+	rc.Faults = cfg.Faults.internalPlan()
 	rt, err := sid.NewRuntime(rc)
 	if err != nil {
 		return nil, err
@@ -203,6 +289,18 @@ type Stats struct {
 	ClustersCancelled int
 	FramesSent        int
 	FramesLost        int
+	// Retransmissions, Acks and ReliableDropped describe the reliable
+	// transport (zero when ReliableTransport is off): retransmitted data
+	// frames, acknowledgment frames, and hops abandoned after the
+	// retransmission bound.
+	Retransmissions int
+	Acks            int
+	ReliableDropped int
+	// Failovers counts cluster-head takeovers (zero when Failover is off).
+	Failovers int
+	// SendErrors counts synchronous routing failures (no path at send
+	// time) that the protocol observed and counted instead of discarding.
+	SendErrors int
 }
 
 // Stats returns protocol counters.
@@ -213,6 +311,11 @@ func (d *Deployment) Stats() Stats {
 		ClustersCancelled: d.rt.Cancelled,
 		FramesSent:        ns.Sent,
 		FramesLost:        ns.Lost,
+		Retransmissions:   ns.Retransmissions,
+		Acks:              ns.Acks,
+		ReliableDropped:   ns.ReliableDropped,
+		Failovers:         d.rt.Failovers,
+		SendErrors:        d.rt.SendErrors(),
 	}
 }
 
