@@ -10,9 +10,13 @@ bench:
 
 # Race-checks the worker pool and everything it fans out into; run after
 # touching the parallel pipeline (see docs/PERFORMANCE.md). internal/sid
-# alone takes >10 min under -race on a single-core host, hence the timeout.
+# alone takes >10 min under -race on a single-core host, hence the default
+# timeout. CI shards this target per package group (see .github/workflows/
+# ci.yml): override RACE_PKGS to run one shard and RACE_TIMEOUT to bound it.
+RACE_PKGS ?= ./internal/...
+RACE_TIMEOUT ?= 25m
 race:
-	$(GO) test -race -timeout 25m ./internal/...
+	$(GO) test -race -timeout $(RACE_TIMEOUT) $(RACE_PKGS)
 
 vet:
 	$(GO) vet ./...

@@ -11,14 +11,17 @@ import (
 	"strings"
 
 	"github.com/sid-wsn/sid/internal/eval"
+	"github.com/sid-wsn/sid/internal/scenario"
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,scenarios or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
 	benchOut := flag.String("benchout", "BENCH_baseline.json", "output path for -bench results")
+	update := flag.Bool("update", false, "with -exp scenarios: rewrite the golden regression corpus")
+	goldenDir := flag.String("golden", scenario.DefaultGoldenDir, "golden corpus directory (for -exp scenarios)")
 	flag.Parse()
 
 	if *bench {
@@ -193,6 +196,10 @@ func main() {
 			100*s.ResilientBaseline, 100*s.ResilientWorst,
 			100*s.UnreliableBaseline, 100*s.UnreliableWorst)
 		return nil
+	})
+
+	run("scenarios", func() error {
+		return runScenarios(*goldenDir, *update)
 	})
 
 	run("fig12", func() error {

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/sid-wsn/sid/internal/scenario"
+)
+
+// runScenarios executes the golden regression corpus. With update=true the
+// golden files are rewritten (review the diff before committing!);
+// otherwise each run is checked against the committed golden and any
+// out-of-tolerance metric is reported.
+func runScenarios(goldenDir string, update bool) error {
+	drift := 0
+	for _, spec := range scenario.Corpus() {
+		res, err := scenario.Run(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s clusters %d, cancelled %d, false confirms %d, node reports %d\n",
+			res.Name, res.ClustersFormed, res.Cancelled, res.FalseConfirms, len(res.NodeReports))
+		for _, sh := range res.Ships {
+			line := fmt.Sprintf("  %-12s true %5.1f kn @ %6.1f°, sweep [%5.1f, %5.1f]s:",
+				sh.Name, sh.TrueSpeedKn, sh.TrueHeadingDeg, sh.SweepStart, sh.SweepEnd)
+			if !sh.Detected {
+				fmt.Printf("%s MISSED\n", line)
+				continue
+			}
+			fmt.Printf("%s %d confirm(s), C %.3f", line, sh.Confirms, sh.BestC)
+			if sh.HasSpeed {
+				fmt.Printf(", est %.1f kn @ %.1f° (err %.0f%%, %.1f°)",
+					sh.SpeedKn, sh.HeadingDeg, 100*sh.SpeedErrFrac, sh.HeadingErrDeg)
+			}
+			fmt.Println()
+		}
+		if update {
+			if err := scenario.WriteGolden(goldenDir, res); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", scenario.GoldenPath(goldenDir, res.Name))
+			continue
+		}
+		want, err := scenario.LoadGolden(goldenDir, spec.Name)
+		if err != nil {
+			return fmt.Errorf("no golden for %q (run with -update to create): %w", spec.Name, err)
+		}
+		for _, viol := range scenario.Diff(want, res) {
+			fmt.Printf("  DRIFT: %s\n", viol)
+			drift++
+		}
+	}
+	if drift > 0 {
+		return fmt.Errorf("%d metric(s) drifted outside tolerance", drift)
+	}
+	return nil
+}

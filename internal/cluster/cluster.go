@@ -81,20 +81,31 @@ type Config struct {
 	// disturbs the row bands "in a sequential manner" (Fig. 9), so the
 	// per-band mean onsets must be monotone in band order. The statistic
 	// is the absolute Spearman rank correlation between band index and
-	// band mean onset on the scored side; random false alarms rarely
+	// whole-band (both sides) mean onset; random false alarms rarely
 	// exceed 0.7 while a real sweep scores ~1. 0 disables the gate.
 	// This gate is separate from C so eq. (13) stays exactly the paper's.
 	SweepThreshold float64
+	// OrderTauThreshold gates on the within-stratum order concordance:
+	// among node pairs at the same distance from the travel line (same
+	// cross-line stratum), the wake front's arrival order is exactly the
+	// along-line order, independent of the ship's speed. The statistic is
+	// the absolute Kendall tau over those pairs. It complements the
+	// band-mean sweep: the sweep has only ~4 band ranks to work with (a
+	// random set clears 0.7 a third of the time), while the tau draws on
+	// every same-stratum pair. Its sign must also agree with the sweep's.
+	// 0 disables the gate. Default 0.5.
+	OrderTauThreshold float64
 }
 
 // DefaultConfig returns the paper's operating point.
 func DefaultConfig() Config {
 	return Config{
-		MinRows:        4,
-		CThreshold:     0.4,
-		RowSpacing:     25,
-		MinOrderedRows: 2,
-		SweepThreshold: 0.7,
+		MinRows:           4,
+		CThreshold:        0.4,
+		RowSpacing:        25,
+		MinOrderedRows:    2,
+		SweepThreshold:    0.7,
+		OrderTauThreshold: 0.5,
 	}
 }
 
@@ -113,6 +124,9 @@ func (c Config) validate() error {
 	}
 	if c.SweepThreshold < 0 || c.SweepThreshold > 1 {
 		return fmt.Errorf("cluster: SweepThreshold must be in [0,1], got %g", c.SweepThreshold)
+	}
+	if c.OrderTauThreshold < 0 || c.OrderTauThreshold > 1 {
+		return fmt.Errorf("cluster: OrderTauThreshold must be in [0,1], got %g", c.OrderTauThreshold)
 	}
 	return nil
 }
@@ -135,9 +149,13 @@ type Result struct {
 	// Side identifies which side of the travel line was scored (0 or 1).
 	Side int
 	// Sweep is the absolute Spearman rank correlation between band order
-	// and band mean onset on the scored side (1 when fewer than 3 bands
-	// carry reports — too few to judge; the other gates rule there).
+	// and whole-band mean onset, both sides pooled (1 when fewer than 3
+	// bands carry reports — too few to judge; the other gates rule there).
 	Sweep float64
+	// OrderTau is the absolute Kendall tau of the along-line arrival
+	// order among same-distance-stratum report pairs (1 when no such
+	// pair exists).
+	OrderTau float64
 	// Reports is the number of reports considered.
 	Reports int
 	// TravelLine is the estimated ship travel line the ordering used.
@@ -167,7 +185,7 @@ func Evaluate(reports []Report, cfg Config) (Result, error) {
 		// well-formed non-detection instead of an error.
 		return Result{
 			C: 1, CNt: 1, CNe: 1,
-			RowsTotal: 1, SingletonRows: 1, Reports: 1, Sweep: 1,
+			RowsTotal: 1, SingletonRows: 1, Reports: 1, Sweep: 1, OrderTau: 1,
 			TravelLine: geo.NewLine(reports[0].Pos, geo.Vec2{X: 1}),
 		}, nil
 	}
@@ -208,20 +226,24 @@ func EvaluateWithLine(reports []Report, line geo.Line, cfg Config) (Result, erro
 		rows       int
 		singletons int
 		reports    int
-		bandOnsets []float64 // per-band mean onset, in band order
 	}
 	sides := [2]acc{{cnt: 1, cne: 1}, {cnt: 1, cne: 1}}
+	// The sweep statistic uses whole-band mean onsets (both sides pooled):
+	// the wake expands symmetrically, so the sweep order is side-independent,
+	// and averaging every node in a band keeps one noisy onset in a sparse
+	// side from flipping a rank.
+	var bandOnsets []float64
 	for _, row := range bandByProjection(reports, line, cfg.RowSpacing) {
+		var onsetSum float64
+		for _, r := range row {
+			onsetSum += r.Onset
+		}
+		bandOnsets = append(bandOnsets, onsetSum/float64(len(row)))
 		for si, side := range splitBySide(row, line) {
 			if len(side) == 0 {
 				continue
 			}
 			sides[si].reports += len(side)
-			var onsetSum float64
-			for _, r := range side {
-				onsetSum += r.Onset
-			}
-			sides[si].bandOnsets = append(sides[si].bandOnsets, onsetSum/float64(len(side)))
 			if len(side) == 1 {
 				sides[si].singletons++
 				continue // scores 1: multiplies C unchanged (paper's rule)
@@ -262,6 +284,8 @@ func EvaluateWithLine(reports []Report, line geo.Line, cfg Config) (Result, erro
 		}
 	}
 	chosen := sides[best]
+	rho, rhoOK := sweepOf(bandOnsets)
+	tau, tauOK := orderTau(reports, line, cfg.RowSpacing)
 	res := Result{
 		CNt:           chosen.cnt,
 		CNe:           chosen.cne,
@@ -271,12 +295,18 @@ func EvaluateWithLine(reports []Report, line geo.Line, cfg Config) (Result, erro
 		SingletonRows: chosen.singletons,
 		Reports:       len(reports),
 		Side:          best,
-		Sweep:         sweepOf(chosen.bandOnsets),
+		Sweep:         math.Abs(rho),
+		OrderTau:      math.Abs(tau),
 		TravelLine:    line,
 	}
+	// A real sweep moves one way along the line, so when both order
+	// statistics carry evidence they must agree on the direction.
+	signsAgree := !rhoOK || !tauOK || rho*tau > 0
 	res.Detected = res.RowsTotal >= cfg.MinRows &&
 		res.RowsUsed >= cfg.MinOrderedRows &&
 		res.Sweep >= cfg.SweepThreshold &&
+		res.OrderTau >= cfg.OrderTauThreshold &&
+		signsAgree &&
 		res.C >= cfg.CThreshold
 	return res, nil
 }
@@ -301,16 +331,18 @@ func betterCandidate(a, b Result, cfg Config) bool {
 	return a.RowsUsed > b.RowsUsed
 }
 
-// sweepOf computes the sweep-order statistic: the absolute Spearman rank
+// sweepOf computes the sweep-order statistic: the Spearman rank
 // correlation between band order and band mean onset. Fewer than 3 bands
-// cannot be judged and score 1.
-func sweepOf(bandOnsets []float64) float64 {
+// cannot be judged and score a vacuous (1, false).
+func sweepOf(bandOnsets []float64) (float64, bool) {
 	n := len(bandOnsets)
 	if n < 3 {
-		return 1
+		return 1, false
 	}
-	// Rank the onsets (average ranks are unnecessary: exact ties are
-	// practically impossible for continuous onsets).
+	// Rank the onsets. Exact ties (simultaneous band onsets, e.g. from
+	// quantized timestamps) break toward band order, so an all-equal input
+	// ranks as a perfect sweep rather than at the mercy of the sort's
+	// internal order.
 	type kv struct {
 		idx   int
 		onset float64
@@ -319,7 +351,12 @@ func sweepOf(bandOnsets []float64) float64 {
 	for i, o := range bandOnsets {
 		kvs[i] = kv{i, o}
 	}
-	sort.Slice(kvs, func(i, j int) bool { return kvs[i].onset < kvs[j].onset })
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].onset != kvs[j].onset {
+			return kvs[i].onset < kvs[j].onset
+		}
+		return kvs[i].idx < kvs[j].idx
+	})
 	rank := make([]int, n)
 	for r, e := range kvs {
 		rank[e.idx] = r
@@ -329,8 +366,49 @@ func sweepOf(bandOnsets []float64) float64 {
 		d := float64(i - r)
 		d2 += d * d
 	}
-	rho := 1 - 6*d2/float64(n*(n*n-1))
-	return math.Abs(rho)
+	return 1 - 6*d2/float64(n*(n*n-1)), true
+}
+
+// orderTau computes the within-stratum order concordance: reports are
+// stratified by their (rounded) distance from the travel line, and among
+// pairs in the same stratum the along-line projection order is compared
+// with the onset order — the wake front hits equal-distance nodes in
+// exactly the along-line order, whatever the ship's speed. Returns the
+// signed Kendall tau over those pairs and whether any comparable pair
+// existed (ties in projection or onset are skipped; no pairs scores a
+// vacuous (1, false)).
+func orderTau(reports []Report, line geo.Line, spacing float64) (float64, bool) {
+	type pt struct {
+		proj, onset float64
+		stratum     int
+	}
+	ps := make([]pt, len(reports))
+	for i, r := range reports {
+		d := line.Dist(r.Pos)
+		ps[i] = pt{line.Project(r.Pos), r.Onset, int(math.Round(d / spacing))}
+	}
+	var conc, disc float64
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[i].stratum != ps[j].stratum {
+				continue
+			}
+			dp := ps[i].proj - ps[j].proj
+			dt := ps[i].onset - ps[j].onset
+			if dp == 0 || dt == 0 {
+				continue
+			}
+			if dp*dt > 0 {
+				conc++
+			} else {
+				disc++
+			}
+		}
+	}
+	if conc+disc == 0 {
+		return 1, false
+	}
+	return (conc - disc) / (conc + disc), true
 }
 
 // bandByProjection groups reports into row bands by their along-line

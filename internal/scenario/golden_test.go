@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenCorpus replays every corpus scenario and checks the result
+// against the committed golden file. Counts and booleans must match
+// exactly; float metrics must stay inside the tolerance bands (golden.go).
+// After an intentional behaviour change, refresh with
+//
+//	go run ./cmd/sidbench -exp scenarios -update
+//
+// and review the golden diff like any other code change.
+func TestGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus replay is slow")
+	}
+	dir := filepath.Join("testdata", "golden")
+	for _, spec := range Corpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want, err := LoadGolden(dir, spec.Name)
+			if err != nil {
+				t.Fatalf("missing golden (run sidbench -exp scenarios -update): %v", err)
+			}
+			got, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range Diff(want, got) {
+				t.Errorf("drift: %s", viol)
+			}
+		})
+	}
+}

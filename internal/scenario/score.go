@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"math"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/wake"
+)
+
+// attributionSlack is how far (seconds) outside a ship's wake-sweep window
+// a confirmation's mean onset may fall and still be credited to that ship.
+// It absorbs detection latency (the Δt anomaly windows), clock-sync offsets
+// and the head's report deduplication; confirmations further out count as
+// false confirms.
+const attributionSlack = 45.0
+
+// TraceReport is one node-level detection of the committed golden trace,
+// with short JSON keys to keep the files compact. N is the node ID, T the
+// true detection time, O the reported onset (node-local clock), E the
+// reported wake energy.
+type TraceReport struct {
+	N int     `json:"n"`
+	T float64 `json:"t"`
+	O float64 `json:"o"`
+	E float64 `json:"e"`
+}
+
+// ShipResult scores one vessel of a trial against its kinematic ground
+// truth.
+type ShipResult struct {
+	Name string `json:"name"`
+
+	// Ground truth, derived from the maneuver over the node anchors it
+	// covers within the trial duration.
+	SweepStart     float64 `json:"sweep_start"`
+	SweepEnd       float64 `json:"sweep_end"`
+	TrueSpeedKn    float64 `json:"true_speed_kn"`
+	TrueHeadingDeg float64 `json:"true_heading_deg"`
+	CoveredNodes   int     `json:"covered_nodes"`
+
+	// Detection outcome: confirmations attributed to this vessel.
+	Detected  bool    `json:"detected"`
+	Confirms  int     `json:"confirms"`
+	BestC     float64 `json:"best_c"`
+	MeanOnset float64 `json:"mean_onset"`
+
+	// Speed/heading estimate of the best attributed confirmation (when the
+	// four-node condition was met).
+	HasSpeed      bool    `json:"has_speed"`
+	SpeedKn       float64 `json:"speed_kn,omitempty"`
+	HeadingDeg    float64 `json:"heading_deg,omitempty"`
+	SpeedErrFrac  float64 `json:"speed_err_frac,omitempty"`
+	HeadingErrDeg float64 `json:"heading_err_deg,omitempty"`
+}
+
+// Result is the scored outcome of one trial — the shape committed to the
+// golden corpus.
+type Result struct {
+	Name  string       `json:"name"`
+	Ships []ShipResult `json:"ships"`
+	// FalseConfirms counts sink confirmations attributable to no vessel.
+	FalseConfirms  int `json:"false_confirms"`
+	ClustersFormed int `json:"clusters_formed"`
+	Cancelled      int `json:"cancelled"`
+	Failovers      int `json:"failovers"`
+	// NodeReports is the per-node detection stream in event order.
+	NodeReports []TraceReport `json:"node_reports"`
+}
+
+// truth computes a vessel's ground truth over the grid: the wake-sweep
+// window (earliest and latest front arrival over covered node anchors,
+// clipped to the trial) and the mean generation speed and heading over
+// those anchors.
+func truth(spec Spec, cfg sid.Config, m *wake.Maneuver) ShipResult {
+	sr := ShipResult{SweepStart: math.Inf(1), SweepEnd: math.Inf(-1)}
+	var speedSum float64
+	var headingSum geo.Vec2
+	for _, pos := range cfg.Grid.Positions() {
+		at, ok := m.ArrivalTime(pos)
+		if !ok || at < 0 || at > spec.Duration {
+			continue
+		}
+		sr.CoveredNodes++
+		if at < sr.SweepStart {
+			sr.SweepStart = at
+		}
+		if at > sr.SweepEnd {
+			sr.SweepEnd = at
+		}
+		if v, ok := m.GenerationSpeed(pos); ok {
+			speedSum += v
+		}
+		if dir, ok := m.GenerationHeading(pos); ok {
+			headingSum = headingSum.Add(dir)
+		}
+	}
+	if sr.CoveredNodes == 0 {
+		sr.SweepStart, sr.SweepEnd = 0, 0
+		return sr
+	}
+	sr.TrueSpeedKn = geo.ToKnots(speedSum / float64(sr.CoveredNodes))
+	sr.TrueHeadingDeg = geo.ToDeg(headingSum.Angle())
+	return sr
+}
+
+// windowDist is the distance from t to the ship's sweep window (0 inside).
+func windowDist(sr ShipResult, t float64) float64 {
+	switch {
+	case sr.CoveredNodes == 0:
+		return math.Inf(1)
+	case t < sr.SweepStart:
+		return sr.SweepStart - t
+	case t > sr.SweepEnd:
+		return t - sr.SweepEnd
+	default:
+		return 0
+	}
+}
+
+// score builds the Result: ground truth per vessel, then each sink
+// confirmation attributed to the vessel whose sweep window its mean onset
+// falls nearest to (within attributionSlack), and the best attributed
+// confirmation scored against that vessel's truth.
+func score(spec Spec, cfg sid.Config, rt *sid.Runtime, ships []*wake.Maneuver) *Result {
+	res := &Result{
+		Name:           spec.Name,
+		ClustersFormed: rt.ClustersFormed,
+		Cancelled:      rt.Cancelled,
+		Failovers:      rt.Failovers,
+	}
+	for i, m := range ships {
+		sr := truth(spec, cfg, m)
+		sr.Name = spec.Ships[i].Name
+		res.Ships = append(res.Ships, sr)
+	}
+	for _, nr := range rt.NodeReports() {
+		res.NodeReports = append(res.NodeReports, TraceReport{
+			N: int(nr.Node), T: nr.Time, O: nr.Onset, E: nr.Energy,
+		})
+	}
+	type best struct {
+		c     float64
+		onset float64
+		rep   sid.SinkReport
+		has   bool
+	}
+	bests := make([]best, len(ships))
+	for _, rep := range rt.SinkReports() {
+		who, dist := -1, attributionSlack
+		for i := range res.Ships {
+			if d := windowDist(res.Ships[i], rep.MeanOnset); d <= dist {
+				who, dist = i, d
+			}
+		}
+		if who < 0 {
+			res.FalseConfirms++
+			continue
+		}
+		res.Ships[who].Confirms++
+		if !bests[who].has || rep.C > bests[who].c {
+			bests[who] = best{c: rep.C, onset: rep.MeanOnset, rep: rep, has: true}
+		}
+	}
+	for i := range res.Ships {
+		sr := &res.Ships[i]
+		sr.Detected = sr.Confirms > 0
+		if !bests[i].has {
+			continue
+		}
+		sr.BestC = bests[i].c
+		sr.MeanOnset = bests[i].onset
+		rep := bests[i].rep
+		if !rep.HasSpeed {
+			continue
+		}
+		sr.HasSpeed = true
+		sr.SpeedKn = geo.ToKnots(rep.Speed)
+		sr.HeadingDeg = geo.ToDeg(rep.Heading)
+		if sr.TrueSpeedKn > 0 {
+			sr.SpeedErrFrac = math.Abs(sr.SpeedKn-sr.TrueSpeedKn) / sr.TrueSpeedKn
+		}
+		est := geo.Vec2{X: math.Cos(rep.Heading), Y: math.Sin(rep.Heading)}
+		tru := geo.Vec2{X: math.Cos(geo.Deg(sr.TrueHeadingDeg)), Y: math.Sin(geo.Deg(sr.TrueHeadingDeg))}
+		sr.HeadingErrDeg = geo.ToDeg(geo.AngleBetween(est, tru))
+	}
+	return res
+}

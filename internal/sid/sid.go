@@ -245,6 +245,7 @@ type Runtime struct {
 	nodes []*nodeState
 
 	sinkReports []SinkReport
+	nodeReports []NodeReport
 	evaluations []Evaluation
 	sendErrors  int
 	// Cancelled counts temporary clusters cancelled as false alarms.
@@ -365,6 +366,14 @@ func (r *Runtime) AddShip(s *wake.Ship) {
 	r.model = append(r.model, wake.Field{Ship: s})
 }
 
+// AddSource introduces an arbitrary surface-motion source (e.g. a
+// wake.ManeuverField for a waypoint-following vessel). Sources superpose
+// linearly through the sensor.Composite model, which is how the scenario
+// engine builds multi-ship trials.
+func (r *Runtime) AddSource(m sensor.SurfaceModel) {
+	r.model = append(r.model, m)
+}
+
 // Network exposes the underlying WSN (for fault injection in tests).
 func (r *Runtime) Network() *wsn.Network { return r.net }
 
@@ -373,6 +382,21 @@ func (r *Runtime) Scheduler() *sim.Scheduler { return r.sched }
 
 // SinkReports returns the confirmed intrusions received by the sink so far.
 func (r *Runtime) SinkReports() []SinkReport { return r.sinkReports }
+
+// NodeReport is one node-level detection event, recorded in the order the
+// deployment produced them. It is the raw per-node report stream the
+// scenario golden traces pin: Time is the true simulation time of the
+// detection, Onset/Energy are what the node reports to its head (Onset in
+// the node's local clock, as it crosses the network).
+type NodeReport struct {
+	Node   wsn.NodeID
+	Time   float64
+	Onset  float64
+	Energy float64
+}
+
+// NodeReports returns every node-level detection so far, in event order.
+func (r *Runtime) NodeReports() []NodeReport { return r.nodeReports }
 
 // Evaluation records one temporary cluster head's deadline processing:
 // the reports it had collected and (when enough arrived) the correlation
@@ -497,6 +521,9 @@ func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Repo
 	}
 	ns.lastReport = payload
 	ns.hasReport = true
+	r.nodeReports = append(r.nodeReports, NodeReport{
+		Node: ns.id, Time: now, Onset: payload.Onset, Energy: payload.Energy,
+	})
 	if ns.inTempCluster && now < ns.membership {
 		if ns.isHead {
 			r.acceptReport(ns, payload)

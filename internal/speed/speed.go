@@ -146,19 +146,50 @@ func EstimateFromDetections(dets []Detection, line geo.Line, d float64) (Estimat
 	if err != nil {
 		return Estimate{}, err
 	}
-	// Resolve the reflection ambiguity from the sweep order: under the
-	// candidate heading, the wake front reaches nodes in order of
-	// projection-along-heading plus distance/tan(θ). If the observed
-	// arrival order of the two base nodes contradicts the candidate,
-	// the true heading is the reflected branch.
-	u := HeadingOf(est)
-	score := func(det Detection) float64 {
-		return u.Dot(det.Pos) + line.Dist(det.Pos)/math.Tan(Theta)
+	// Resolve the reflection ambiguities. The four timestamps pin |tan α|
+	// (eq. 16) but not the quadrant: the travel line handed in is
+	// undirected, so which pair convention held (a mirror about the row
+	// axis, α → −α) and which way the ship went along the line (α → α+π)
+	// are both open — four candidate headings in all. Each candidate
+	// predicts the arrival law t ≈ t0 + (u·p + dist/tanθ)/v over every
+	// detection; keep the candidate with the best least-squares fit among
+	// those with a positive slope (the wake must arrive later downstream).
+	// Scoring all detections keeps a single noisy onset from flipping the
+	// branch. Speed is invariant under these reflections and stays as
+	// eqs. (14)–(15) computed it.
+	bestAlpha, bestSSE := est.Alpha, math.Inf(1)
+	for _, a := range []float64{est.Alpha, -est.Alpha, math.Pi - est.Alpha, math.Pi + est.Alpha} {
+		u := geo.Vec2{X: math.Cos(a), Y: math.Sin(a)}
+		n := float64(len(dets))
+		var sx, sy, sxx, sxy float64
+		for _, det := range dets {
+			s := u.Dot(det.Pos) + line.Dist(det.Pos)/math.Tan(Theta)
+			sx += s
+			sy += det.Time
+			sxx += s * s
+			sxy += s * det.Time
+		}
+		den := sxx - sx*sx/n
+		if den <= 0 {
+			continue
+		}
+		slope := (sxy - sx*sy/n) / den
+		if slope <= 0 {
+			continue
+		}
+		icept := (sy - slope*sx) / n
+		var sse float64
+		for _, det := range dets {
+			s := u.Dot(det.Pos) + line.Dist(det.Pos)/math.Tan(Theta)
+			r := det.Time - icept - slope*s
+			sse += r * r
+		}
+		if sse < bestSSE {
+			bestSSE, bestAlpha = sse, a
+		}
 	}
-	if (score(pj[0])-score(pi[0]))*(pj[0].Time-pi[0].Time) < 0 {
-		est.Alpha = geo.NormalizeAngle(est.Alpha + math.Pi)
-		est.Forward = math.Cos(est.Alpha) > 0
-	}
+	est.Alpha = geo.NormalizeAngle(bestAlpha)
+	est.Forward = math.Cos(est.Alpha) > 0
 	return est, nil
 }
 

@@ -86,14 +86,23 @@ func (s *Ship) FroudeNumber() float64 {
 	return s.Speed / math.Sqrt(ocean.Gravity*s.Length)
 }
 
-// Theta returns Θ = 35.27°·(1 − e^{12(F_d−1)}) in radians (eq. 2), clamped
-// to [0, 35.27°] for super-critical Froude numbers.
-func (s *Ship) Theta() float64 {
-	th := ThetaMax * (1 - math.Exp(12*(s.FroudeNumber()-1)))
+// thetaFor returns Θ = 35.27°·(1 − e^{12(F_d−1)}) in radians (eq. 2) for a
+// hull of the given length at the given speed, clamped to [0, 35.27°] for
+// super-critical Froude numbers. Shared by Ship and Maneuver so a vessel's
+// wake signature shifts consistently with its speed regime.
+func thetaFor(speed, length float64) float64 {
+	fd := speed / math.Sqrt(ocean.Gravity*length)
+	th := ThetaMax * (1 - math.Exp(12*(fd-1)))
 	if th < 0 {
 		th = 0
 	}
 	return th
+}
+
+// Theta returns Θ = 35.27°·(1 − e^{12(F_d−1)}) in radians (eq. 2), clamped
+// to [0, 35.27°] for super-critical Froude numbers.
+func (s *Ship) Theta() float64 {
+	return thetaFor(s.Speed, s.Length)
 }
 
 // WakeWaveSpeed returns W_v = V·cosΘ (eq. 2), the propagation speed of the
@@ -193,14 +202,27 @@ type Signal struct {
 
 // SignalAt precomputes the wake packet parameters for point p.
 func (s *Ship) SignalAt(p geo.Vec2) Signal {
-	d := s.Track.Dist(p)
-	dur := s.Duration(d)
+	return signalFor(s.Speed, s.Length, s.WaveCoeff, s.BaseDuration,
+		s.Track.Dist(p), s.ArrivalTime(p))
+}
+
+// signalFor assembles the wake packet observed at perpendicular distance d
+// from the sailing line, arriving at the given time, for a hull of the
+// given length generating the wake at the given speed. It is the single
+// formula behind Ship.SignalAt and the per-leg packets of a Maneuver.
+func signalFor(speed, length, waveCoeff, baseDuration, d, arrival float64) Signal {
+	if d < MinDecayDistance {
+		d = MinDecayDistance
+	}
+	coeff := waveCoeff * speed / refSpeed
+	theta := thetaFor(speed, length)
+	dur := baseDuration * math.Pow(d/25.0, 0.25)
 	return Signal{
-		Arrival:   s.ArrivalTime(p),
-		Amp:       s.CuspHeight(d) / 2,
-		TransAmp:  s.TransverseHeight(d) / 2 * transverseWeight,
-		Freq:      s.WakeFreq(),
-		TransFreq: s.TransverseFreq(),
+		Arrival:   arrival,
+		Amp:       coeff * math.Pow(d, -1.0/3.0) / 2,
+		TransAmp:  coeff * math.Pow(d, -0.5) / 2 * transverseWeight,
+		Freq:      ocean.FreqForPhaseSpeed(speed * math.Cos(theta)),
+		TransFreq: ocean.FreqForPhaseSpeed(speed),
 		Sigma:     dur / 2,
 	}
 	// The envelope width σ = duration/2 puts ~95% of the packet energy
