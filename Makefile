@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet baseline
+.PHONY: test bench race vet baseline obs
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -24,3 +24,13 @@ vet:
 # Regenerates the machine-readable perf baseline (BENCH_baseline.json).
 baseline:
 	$(GO) run ./cmd/sidbench -bench
+
+# Observability smoke: journal one golden scenario and render it with
+# sidwatch (see docs/OBSERVABILITY.md). Fails if the report comes out empty.
+OBS_TMP := $(shell mktemp -d)
+obs:
+	$(GO) run ./cmd/sidbench -exp scenarios -only single-10kn -journal $(OBS_TMP)
+	$(GO) run ./cmd/sidwatch $(OBS_TMP)/single-10kn.jsonl > $(OBS_TMP)/report.txt
+	@test -s $(OBS_TMP)/report.txt || { echo "obs: empty sidwatch report"; exit 1; }
+	@cat $(OBS_TMP)/report.txt
+	@rm -rf $(OBS_TMP)

@@ -20,8 +20,8 @@ import (
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/sensor"
-	"github.com/sid-wsn/sid/internal/sim"
 	isid "github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/sim"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
@@ -492,6 +492,6 @@ func BenchmarkReliableUnicast(b *testing.B) {
 		}
 		sched.RunAll()
 	}
-	b.ReportMetric(float64(net.Stats.Retransmissions)/float64(b.N), "retrans/op")
-	b.ReportMetric(float64(net.Stats.ReliableDelivered)/float64(b.N), "delivered/op")
+	b.ReportMetric(float64(net.Stats().Retransmissions)/float64(b.N), "retrans/op")
+	b.ReportMetric(float64(net.Stats().ReliableDelivered)/float64(b.N), "delivered/op")
 }

@@ -5,15 +5,18 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"github.com/sid-wsn/sid/internal/dsp"
 	"github.com/sid-wsn/sid/internal/eval"
 	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/sensor"
 	"github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/sim"
+	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
 
@@ -28,16 +31,28 @@ type benchResult struct {
 	Note string `json:"note,omitempty"`
 }
 
+// stageResult is one pipeline stage's aggregate from the instrumented
+// deployment run (obs.Profiler spans: synthesis, detect, cluster, speed).
+type stageResult struct {
+	Count   int64   `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
 // benchFile is the schema of BENCH_baseline.json. Perf-affecting PRs must
 // regenerate the file (see docs/PERFORMANCE.md).
 type benchFile struct {
-	GeneratedBy string            `json:"generated_by"`
-	GoVersion   string            `json:"go_version"`
-	GOOS        string            `json:"goos"`
-	GOARCH      string            `json:"goarch"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Benchmarks  []benchResult     `json:"benchmarks"`
-	Derived     map[string]string `json:"derived"`
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+	// Stages is the per-stage wall-clock breakdown of one intruder crossing
+	// (profiled deployment, Workers=GOMAXPROCS). Wall-clock values — compare
+	// ratios across machines, not absolutes.
+	Stages  map[string]stageResult `json:"stages,omitempty"`
+	Derived map[string]string      `json:"derived"`
 }
 
 // timeIt runs fn repeatedly for roughly a second (after one warm-up call)
@@ -62,6 +77,39 @@ func timeIt(fn func()) (float64, int) {
 		fn()
 	}
 	return float64(time.Since(start).Nanoseconds()) / float64(n), n
+}
+
+// profileStages runs one default deployment with a 10 kn intruder crossing
+// under an attached stage profiler and returns the per-stage wall-clock
+// aggregates. The crossing guarantees the cluster-confirmation and
+// speed-estimation stages actually execute (a quiet sea never reaches them).
+func profileStages() (map[string]stageResult, error) {
+	col := obs.New()
+	col.SetProfiler(obs.NewProfiler())
+	cfg := sid.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Obs = col
+	rt, err := sid.NewRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+	center := cfg.Grid.Center()
+	dir := geo.Vec2{X: 0, Y: 1} // perpendicular crossing, as in the facade default
+	track := geo.NewLine(center.Sub(dir.Scale(1000)), dir)
+	ship, err := wake.NewShip(track, geo.Knots(10), 12)
+	if err != nil {
+		return nil, err
+	}
+	ship.Time0 = 40 - (ship.ArrivalTime(center) - ship.Time0)
+	rt.AddShip(ship)
+	if err := rt.Run(200); err != nil {
+		return nil, err
+	}
+	out := make(map[string]stageResult)
+	for _, st := range col.Profiler().Snapshot() {
+		out[st.Stage] = stageResult{Count: st.Count, TotalNs: st.TotalNs, NsPerOp: st.NsPerOp()}
+	}
+	return out, nil
 }
 
 // runBench measures the performance baseline suite and writes it as JSON to
@@ -149,6 +197,24 @@ func runBench(path string) error {
 	serial := add("deployment_serial_60s", "5x5 grid, 60 s simulated, Workers=1", deployment(1))
 	par := add("deployment_parallel_60s", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS", deployment(0))
 
+	// Stage breakdown: one profiled deployment with an intruder crossing,
+	// so every pipeline stage (synthesis, detect, cluster, speed) runs.
+	stages, err := profileStages()
+	if err != nil {
+		return err
+	}
+	fmt.Println("  stage breakdown (profiled intruder crossing):")
+	stageNames := make([]string, 0, len(stages))
+	for name := range stages {
+		stageNames = append(stageNames, name)
+	}
+	sort.Strings(stageNames)
+	for _, name := range stageNames {
+		st := stages[name]
+		fmt.Printf("    %-10s %6d spans  %12.0f ns/op  %8.1f ms total\n",
+			name, st.Count, st.NsPerOp, float64(st.TotalNs)/1e6)
+	}
+
 	radio := wsn.DefaultRadioConfig()
 	radio.LossProb = 0.2
 	radio.Reliable = wsn.DefaultReliableConfig()
@@ -173,6 +239,7 @@ func runBench(path string) error {
 		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Benchmarks:  results,
+		Stages:      stages,
 		Derived: map[string]string{
 			"field_series_speedup":        fmt.Sprintf("%.2fx", perSample.NsPerOp/batched.NsPerOp),
 			"deployment_parallel_speedup": fmt.Sprintf("%.2fx", serial.NsPerOp/par.NsPerOp),

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/sid-wsn/sid/internal/eval"
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/scenario"
 )
 
@@ -22,7 +23,20 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_baseline.json", "output path for -bench results")
 	update := flag.Bool("update", false, "with -exp scenarios: rewrite the golden regression corpus")
 	goldenDir := flag.String("golden", scenario.DefaultGoldenDir, "golden corpus directory (for -exp scenarios)")
+	journalDir := flag.String("journal", "", "with -exp scenarios: write one JSONL event journal per scenario into this directory (render with sidwatch)")
+	only := flag.String("only", "", "with -exp scenarios: run only the named scenario")
+	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while running (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/pprof and /debug/vars\n", srv.Addr())
+	}
 
 	if *bench {
 		if err := runBench(*benchOut); err != nil {
@@ -199,7 +213,7 @@ func main() {
 	})
 
 	run("scenarios", func() error {
-		return runScenarios(*goldenDir, *update)
+		return runScenarios(*goldenDir, *update, *journalDir, *only)
 	})
 
 	run("fig12", func() error {

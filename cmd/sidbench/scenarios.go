@@ -2,20 +2,64 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/scenario"
 )
 
 // runScenarios executes the golden regression corpus. With update=true the
 // golden files are rewritten (review the diff before committing!);
 // otherwise each run is checked against the committed golden and any
-// out-of-tolerance metric is reported.
-func runScenarios(goldenDir string, update bool) error {
+// out-of-tolerance metric is reported. only, when non-empty, restricts the
+// sweep to the named scenario. journalDir, when non-empty, attaches a fresh
+// observability collector per scenario and streams its event journal to
+// <journalDir>/<name>.jsonl, ending with an embedded metrics snapshot —
+// render it with sidwatch.
+func runScenarios(goldenDir string, update bool, journalDir, only string) error {
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return err
+		}
+	}
 	drift := 0
+	matched := false
 	for _, spec := range scenario.Corpus() {
-		res, err := scenario.Run(spec)
+		if only != "" && spec.Name != only {
+			continue
+		}
+		matched = true
+		var col *obs.Collector
+		var sink *os.File
+		if journalDir != "" {
+			var err error
+			sink, err = os.Create(filepath.Join(journalDir, spec.Name+".jsonl"))
+			if err != nil {
+				return err
+			}
+			j := obs.NewJournal(obs.DefaultJournalCap)
+			j.SetSink(sink)
+			col = obs.New()
+			col.SetJournal(j)
+			obs.PublishRegistry(col.Registry()) // live /debug/vars follows the current run
+		}
+		res, err := scenario.RunWithCollector(spec, col)
 		if err != nil {
 			return err
+		}
+		if col != nil {
+			// Close the journal with the final counter state so sidwatch can
+			// print radio totals without a live registry.
+			col.Emit(spec.Duration, obs.KindMetrics, col.Registry().Snapshot())
+			if err := col.Journal().Err(); err != nil {
+				return fmt.Errorf("journal %s: %w", spec.Name, err)
+			}
+			if err := sink.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote journal %s (%d events)\n",
+				filepath.Join(journalDir, spec.Name+".jsonl"), col.Journal().Total())
 		}
 		fmt.Printf("%-14s clusters %d, cancelled %d, false confirms %d, node reports %d\n",
 			res.Name, res.ClustersFormed, res.Cancelled, res.FalseConfirms, len(res.NodeReports))
@@ -48,6 +92,9 @@ func runScenarios(goldenDir string, update bool) error {
 			fmt.Printf("  DRIFT: %s\n", viol)
 			drift++
 		}
+	}
+	if only != "" && !matched {
+		return fmt.Errorf("no scenario named %q in the corpus", only)
 	}
 	if drift > 0 {
 		return fmt.Errorf("%d metric(s) drifted outside tolerance", drift)

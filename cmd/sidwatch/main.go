@@ -1,0 +1,52 @@
+// Command sidwatch renders a per-run report from a SID event journal — the
+// JSONL file written by the observability layer (internal/obs), e.g. via
+// `sidbench -exp scenarios -journal DIR`. The report reconstructs what the
+// deployment did from the journal alone: which nodes saw the wake and when
+// (node timeline), how the wake swept the grid rows (row sweep table), how
+// each cluster head's correlation evaluation broke down into C = C_Nt ×
+// C_Ne with its gate inputs, which candidate headings the speed estimator
+// weighed, and what the radio layer did underneath (ARQ traffic, frame
+// counters from the embedded metrics snapshot).
+//
+// Usage:
+//
+//	sidwatch run.jsonl
+//	sidbench -exp scenarios -only single-10kn -journal /tmp/j && sidwatch /tmp/j/single-10kn.jsonl
+//	cat run.jsonl | sidwatch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/sid-wsn/sid/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sidwatch [journal.jsonl]\nReads a SID event journal (JSONL) and prints a per-run report.\nWith no argument the journal is read from stdin.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sidwatch: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sidwatch: %v\n", err)
+		os.Exit(1)
+	}
+	if err := render(os.Stdout, events); err != nil {
+		fmt.Fprintf(os.Stderr, "sidwatch: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/sid-wsn/sid/internal/obs"
+)
+
+// render reconstructs a per-run report from the journal's raw events and
+// writes it to w. It tolerates unknown kinds (forward compatibility) and
+// payloads it cannot decode; it only fails on an empty journal.
+func render(w io.Writer, events []obs.RawEvent) error {
+	if len(events) == 0 {
+		return fmt.Errorf("empty journal")
+	}
+
+	type nodeAgg struct {
+		node, row        int
+		windows, reports int
+		firstOnset       float64
+		peakEnergy       float64
+	}
+	nodes := map[int]*nodeAgg{}
+	nodeOf := func(id int) *nodeAgg {
+		a, ok := nodes[id]
+		if !ok {
+			a = &nodeAgg{node: id, row: -1, firstOnset: math.Inf(1)}
+			nodes[id] = a
+		}
+		return a
+	}
+
+	kinds := map[string]int{}
+	var tMin, tMax = math.Inf(1), math.Inf(-1)
+	var evals, cancels, sinks, fits, elects, joins, setups, extends []obs.RawEvent
+	var arqRetrans, arqAcks, arqDrops, arqDropsReceived int
+	var snapshot *obs.Snapshot
+
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.T < tMin {
+			tMin = e.T
+		}
+		if e.T > tMax {
+			tMax = e.T
+		}
+		switch e.Kind {
+		case obs.KindNodeWindow:
+			var p obs.NodeWindow
+			if json.Unmarshal(e.Data, &p) == nil {
+				nodeOf(p.Node).windows++
+			}
+		case obs.KindNodeReport:
+			var p obs.NodeReport
+			if json.Unmarshal(e.Data, &p) == nil {
+				a := nodeOf(p.Node)
+				a.reports++
+				a.row = p.Row
+				if p.Onset < a.firstOnset {
+					a.firstOnset = p.Onset
+				}
+				if p.Energy > a.peakEnergy {
+					a.peakEnergy = p.Energy
+				}
+			}
+		case obs.KindClusterSetup:
+			setups = append(setups, e)
+		case obs.KindClusterJoin:
+			joins = append(joins, e)
+		case obs.KindClusterExtend:
+			extends = append(extends, e)
+		case obs.KindClusterCancel:
+			cancels = append(cancels, e)
+		case obs.KindClusterEval:
+			evals = append(evals, e)
+		case obs.KindSpeedFit:
+			fits = append(fits, e)
+		case obs.KindSinkReport:
+			sinks = append(sinks, e)
+		case obs.KindFailoverElect:
+			elects = append(elects, e)
+		case obs.KindArqRetransmit:
+			arqRetrans++
+		case obs.KindArqAck:
+			arqAcks++
+		case obs.KindArqDrop:
+			arqDrops++
+			var p obs.ArqDrop
+			if json.Unmarshal(e.Data, &p) == nil && p.Received {
+				arqDropsReceived++
+			}
+		case obs.KindMetrics:
+			var s obs.Snapshot
+			if json.Unmarshal(e.Data, &s) == nil {
+				snapshot = &s
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "SID run report — %d events, t = [%.1f, %.1f]s\n", len(events), tMin, tMax)
+	kindNames := make([]string, 0, len(kinds))
+	for k := range kinds {
+		kindNames = append(kindNames, k)
+	}
+	sort.Strings(kindNames)
+	parts := make([]string, 0, len(kindNames))
+	for _, k := range kindNames {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, kinds[k]))
+	}
+	fmt.Fprintf(w, "  %s\n\n", strings.Join(parts, "  "))
+
+	// Node timeline: every node that saw the wake, ordered by first onset.
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := nodes[ids[i]], nodes[ids[j]]
+		if a.firstOnset != b.firstOnset {
+			return a.firstOnset < b.firstOnset
+		}
+		return a.node < b.node
+	})
+	fmt.Fprintf(w, "node timeline (%d nodes with anomaly windows)\n", len(ids))
+	for _, id := range ids {
+		a := nodes[id]
+		row := "-"
+		if a.row >= 0 {
+			row = fmt.Sprintf("%d", a.row)
+		}
+		onset := "      -"
+		if !math.IsInf(a.firstOnset, 1) {
+			onset = fmt.Sprintf("%7.1f", a.firstOnset)
+		}
+		fmt.Fprintf(w, "  node %3d  row %-2s  windows %3d  reports %2d  first onset %ss  peak E %.2f\n",
+			a.node, row, a.windows, a.reports, onset, a.peakEnergy)
+	}
+	fmt.Fprintln(w)
+
+	// Row sweep: the wake front should hit rows in order; per row, the
+	// earliest reported onset tells the sweep direction and speed.
+	type rowAgg struct {
+		row      int
+		nodes    int
+		earliest float64
+	}
+	rows := map[int]*rowAgg{}
+	for _, a := range nodes {
+		if a.row < 0 || math.IsInf(a.firstOnset, 1) {
+			continue
+		}
+		ra, ok := rows[a.row]
+		if !ok {
+			ra = &rowAgg{row: a.row, earliest: math.Inf(1)}
+			rows[a.row] = ra
+		}
+		ra.nodes++
+		if a.firstOnset < ra.earliest {
+			ra.earliest = a.firstOnset
+		}
+	}
+	if len(rows) > 0 {
+		rlist := make([]*rowAgg, 0, len(rows))
+		for _, ra := range rows {
+			rlist = append(rlist, ra)
+		}
+		sort.Slice(rlist, func(i, j int) bool { return rlist[i].row < rlist[j].row })
+		fmt.Fprintln(w, "row sweep (earliest reported onset per grid row)")
+		for _, ra := range rlist {
+			fmt.Fprintf(w, "  row %d  %2d reporting node(s)  first onset %8.1fs\n", ra.row, ra.nodes, ra.earliest)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Cluster lifecycle and correlation breakdown.
+	fmt.Fprintf(w, "clusters: %d setup, %d join(s), %d extension(s), %d cancellation(s), %d failover election(s)\n",
+		len(setups), len(joins), len(extends), len(cancels), len(elects))
+	for _, e := range cancels {
+		var p obs.ClusterCancel
+		if json.Unmarshal(e.Data, &p) != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  t=%8.1f  head %3d cancelled (%s) with %d report(s)\n", e.T, p.Head, p.Reason, p.Reports)
+	}
+	for _, e := range elects {
+		var p obs.FailoverElect
+		if json.Unmarshal(e.Data, &p) != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  t=%8.1f  failover: node %d replaces head %d\n", e.T, p.New, p.Old)
+	}
+	for _, e := range evals {
+		var p obs.ClusterEval
+		if json.Unmarshal(e.Data, &p) != nil {
+			continue
+		}
+		verdict := "REJECTED"
+		if p.Detected {
+			verdict = "CONFIRMED"
+		}
+		fmt.Fprintf(w, "  t=%8.1f  head %3d eval: C=%.3f (C_Nt=%.3f × C_Ne=%.3f)  sweep=%.2f  order-tau=%.2f  rows %d/%d  reports %d  %s\n",
+			e.T, p.Head, p.C, p.CNt, p.CNe, p.Sweep, p.OrderTau, p.RowsUsed, p.RowsTotal, p.Reports, verdict)
+		if p.Err != "" {
+			fmt.Fprintf(w, "             eval error: %s\n", p.Err)
+		}
+	}
+	fmt.Fprintln(w)
+
+	// Speed estimator candidate fits.
+	if len(fits) > 0 {
+		fmt.Fprintln(w, "speed estimator candidate headings (arrival-law least squares)")
+		for _, e := range fits {
+			var p obs.SpeedFit
+			if json.Unmarshal(e.Data, &p) != nil {
+				continue
+			}
+			mark := " "
+			if p.Chosen {
+				mark = "*"
+			}
+			status := "rejected"
+			if p.OK {
+				status = fmt.Sprintf("sse=%.3f", p.SSE)
+			}
+			fmt.Fprintf(w, "  %s head %3d  alpha=%7.1f°  slope=%+.4f s/m  %s\n",
+				mark, p.Head, p.AlphaRad*180/math.Pi, p.Slope, status)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Sink confirmations.
+	fmt.Fprintf(w, "sink confirmations: %d\n", len(sinks))
+	for _, e := range sinks {
+		var p obs.SinkReport
+		if json.Unmarshal(e.Data, &p) != nil {
+			continue
+		}
+		line := fmt.Sprintf("  t=%8.1f  head %3d  C=%.3f  %d report(s)  mean onset %.1fs",
+			e.T, p.Head, p.C, p.Reports, p.MeanOnset)
+		if p.HasSpeed {
+			line += fmt.Sprintf("  speed %.2f m/s @ %.1f°", p.Speed, p.Heading*180/math.Pi)
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w)
+
+	// Radio layer.
+	fmt.Fprintf(w, "radio: %d ARQ retransmission(s), %d ACK(s), %d abandoned hop(s) (%d of those had in fact delivered)\n",
+		arqRetrans, arqAcks, arqDrops, arqDropsReceived)
+	if snapshot != nil {
+		fmt.Fprintln(w, "final counters (embedded metrics snapshot):")
+		for _, c := range snapshot.Counters {
+			fmt.Fprintf(w, "  %-28s %d\n", c.Name, c.Value)
+		}
+		for _, g := range snapshot.Gauges {
+			fmt.Fprintf(w, "  %-28s %g\n", g.Name, g.Value)
+		}
+		for _, h := range snapshot.Histograms {
+			fmt.Fprintf(w, "  %-28s count=%d sum=%.3f buckets=%v (bounds %v)\n",
+				h.Name, h.Count, h.Sum, h.Buckets, h.Bounds)
+		}
+	}
+	return nil
+}

@@ -210,6 +210,11 @@ type WindowStat struct {
 	Onset float64
 	// Threshold is the D_max in force during the window.
 	Threshold float64
+	// Mean and Std are the EWMA moving mean m′_T and deviation d′_T
+	// (eq. 6) in force when the window completed — the context behind
+	// Threshold, exposed so telemetry can answer "why did this window
+	// (not) trip" without re-running the detector.
+	Mean, Std float64
 }
 
 // Report is the node-level detection the paper transmits to the temporary
@@ -418,6 +423,8 @@ func (d *Detector) evaluateRing() WindowStat {
 		End:       d.ring[(d.ringPos+n-1)%n].t,
 		Onset:     math.NaN(),
 		Threshold: d.Threshold(),
+		Mean:      d.moving.Mean(),
+		Std:       d.moving.Std(),
 	}
 	var energy float64
 	for i := 0; i < n; i++ {

@@ -149,8 +149,8 @@ func resilienceTrial(cfg ResilienceConfig, loss, frac float64, resilient bool, s
 		return resilienceTrialResult{}, err
 	}
 	res := resilienceTrialResult{
-		failovers: rt.Failovers,
-		retrans:   rt.Network().Stats.Retransmissions,
+		failovers: rt.Failovers(),
+		retrans:   rt.Network().Stats().Retransmissions,
 	}
 	for _, sr := range rt.SinkReports() {
 		res.detected = true

@@ -165,7 +165,7 @@ func TestBurstInstallsLossModel(t *testing.T) {
 	if delivered != 0 {
 		t.Errorf("delivered %d frames through an always-bad channel", delivered)
 	}
-	if net.Stats.Lost == 0 {
+	if net.Stats().Lost == 0 {
 		t.Error("loss counter untouched")
 	}
 }
@@ -223,7 +223,7 @@ func TestFaultPlanDeterminism(t *testing.T) {
 			}
 		}
 		sched.RunAll()
-		return net.Stats
+		return net.Stats()
 	}
 	a, b := run(), run()
 	if a != b {

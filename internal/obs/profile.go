@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profiler aggregates wall-clock spans per pipeline stage. Durations are
+// real time and therefore nondeterministic; they are kept strictly apart
+// from the journal so profiling can never perturb a pinned trace. The SID
+// runtime opens spans only when a profiler is attached — a nil profiler
+// costs a pointer test per stage and nothing else.
+type Profiler struct {
+	mu     sync.Mutex
+	stages map[string]*stageAgg
+}
+
+type stageAgg struct {
+	count int64
+	nanos int64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{stages: make(map[string]*stageAgg)}
+}
+
+// Observe folds one measured duration into a stage's aggregate.
+func (p *Profiler) Observe(stage string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.stages[stage]
+	if !ok {
+		a = &stageAgg{}
+		p.stages[stage] = a
+	}
+	a.count++
+	a.nanos += d.Nanoseconds()
+}
+
+var noopStop = func() {}
+
+// Start opens a span; call the returned func to close it. On a nil
+// profiler it returns a shared no-op (no allocation, no clock read).
+func (p *Profiler) Start(stage string) func() {
+	if p == nil {
+		return noopStop
+	}
+	t0 := time.Now()
+	return func() { p.Observe(stage, time.Since(t0)) }
+}
+
+// StageStat is one stage's aggregate in a profiler snapshot.
+type StageStat struct {
+	// Stage names the pipeline stage (e.g. "synthesis", "detect").
+	Stage string `json:"stage"`
+	// Count is the number of spans observed.
+	Count int64 `json:"count"`
+	// TotalNs is the summed wall-clock nanoseconds across spans.
+	TotalNs int64 `json:"total_ns"`
+}
+
+// NsPerOp returns the mean span duration in nanoseconds.
+func (s StageStat) NsPerOp() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.TotalNs) / float64(s.Count)
+}
+
+// Snapshot returns the per-stage aggregates sorted by stage name.
+func (p *Profiler) Snapshot() []StageStat {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]StageStat, 0, len(p.stages))
+	for name, a := range p.stages {
+		out = append(out, StageStat{Stage: name, Count: a.count, TotalNs: a.nanos})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a typed metrics registry: named counters, gauges, and
+// fixed-bucket histograms. Lookups are mutex-guarded get-or-create; hot
+// paths resolve their handles once and then increment lock-free, so a
+// registry adds two atomic adds to a counted event and nothing else.
+//
+// All registered values are functions of the simulation alone (no wall
+// clock), so snapshots are deterministic for a given seed.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonic event count. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative only to correct a miscount; counters are
+// conceptually monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time float value. Safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observation v lands in the
+// first bucket whose upper bound is ≥ v, or the overflow bucket past the
+// last bound. Observations are not hot-path events in SID (per-evaluation,
+// per-report), so a small mutex keeps count/sum/bucket updates coherent.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; len(buckets) = len(bounds)+1
+	buckets []int64
+	count   int64
+	sum     float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Resolve handles once outside hot loops.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending upper bounds on first use (later calls may pass nil
+// bounds to mean "whatever it was created with"). It panics on unsorted
+// bounds — a registration-time programming error, not a runtime condition.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if ok {
+		return h
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+	}
+	h = &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]int64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. Buckets[i] counts
+// observations ≤ Bounds[i]; the final bucket is the overflow past the last
+// bound.
+type HistogramValue struct {
+	Name    string    `json:"name"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, sorted by
+// name so its JSON form is deterministic.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values. Safe to call while the
+// simulation runs, though mid-event snapshots may catch a half-updated
+// multi-metric invariant (each individual metric is coherent).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		h.mu.Lock()
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:    name,
+			Bounds:  append([]float64(nil), h.bounds...),
+			Buckets: append([]int64(nil), h.buckets...),
+			Count:   h.count,
+			Sum:     h.sum,
+		})
+		h.mu.Unlock()
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// MarshalJSON renders the snapshot (fields already sorted by Snapshot).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

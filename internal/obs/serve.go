@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is a debug HTTP endpoint serving pprof profiles and expvar
+// metrics (including the published registry snapshot under the "sid"
+// variable). It exists for interactive performance work — nothing in the
+// simulation depends on it.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr.String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+var (
+	publishOnce sync.Once
+	publishedRg atomic.Pointer[Registry]
+)
+
+// PublishRegistry exposes reg as the expvar "sid" variable. expvar
+// registration is global and permanent, so the variable is registered once
+// and reads whatever registry was published last — callers that run many
+// deployments (e.g. sidbench's scenario sweep) re-publish the current one.
+func PublishRegistry(reg *Registry) {
+	if reg != nil {
+		publishedRg.Store(reg)
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("sid", expvar.Func(func() any {
+			return publishedRg.Load().Snapshot() // nil-safe: empty snapshot
+		}))
+	})
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060" or ":0")
+// and publishes reg (may be nil) as the expvar "sid" variable. Routes:
+// /debug/pprof/* and /debug/vars.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	PublishRegistry(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr(),
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/obs"
+)
+
+// TestJournalDeterministicAcrossWorkers pins the journal's central
+// guarantee: events are emitted from scheduler-serial phases only, so the
+// JSONL stream is byte-identical for any Config.Workers value at the same
+// seed. It also proves attaching a collector does not perturb the run: the
+// Result matches a plain Run of the same spec.
+func TestJournalDeterministicAcrossWorkers(t *testing.T) {
+	spec := corpusSpec(t, "single-10kn")
+
+	baseline, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first []byte
+	workerSet := []int{1, 4, runtime.NumCPU()}
+	for _, workers := range workerSet {
+		spec.Workers = workers
+		var buf bytes.Buffer
+		j := obs.NewJournal(obs.DefaultJournalCap)
+		j.SetSink(&buf)
+		col := obs.New()
+		col.SetJournal(j)
+		res, err := RunWithCollector(spec, col)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := j.Err(); err != nil {
+			t.Fatalf("workers=%d: journal sink error: %v", workers, err)
+		}
+		if j.Total() == 0 {
+			t.Fatalf("workers=%d: journal is empty; the corpus crossing should emit events", workers)
+		}
+		if !reflect.DeepEqual(res, baseline) {
+			t.Errorf("workers=%d: result with collector differs from plain Run", workers)
+		}
+		if first == nil {
+			first = append([]byte(nil), buf.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Errorf("workers=%d: journal differs from workers=%d (%d vs %d bytes)",
+				workers, workerSet[0], buf.Len(), len(first))
+		}
+	}
+}

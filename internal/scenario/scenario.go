@@ -18,6 +18,7 @@ import (
 
 	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
@@ -156,10 +157,21 @@ func (s Spec) maneuvers() ([]*wake.Maneuver, error) {
 // (bad spec, bad trajectory, bad fault plan) are returned as errors, never
 // absorbed into the result.
 func Run(spec Spec) (*Result, error) {
+	return RunWithCollector(spec, nil)
+}
+
+// RunWithCollector is Run with an observability collector attached to the
+// trial's runtime: protocol counters land in its registry, and when a
+// journal is attached every pipeline event is recorded against simulation
+// time. col may be nil (plain Run). Attaching a collector never changes the
+// trial's outcome — the journal is written from the scheduler's serial
+// phases only, so it is also byte-identical across Workers values.
+func RunWithCollector(spec Spec, col *obs.Collector) (*Result, error) {
 	cfg, err := spec.compile()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Obs = col
 	ships, err := spec.maneuvers()
 	if err != nil {
 		return nil, err

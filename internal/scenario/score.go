@@ -125,9 +125,9 @@ func windowDist(sr ShipResult, t float64) float64 {
 func score(spec Spec, cfg sid.Config, rt *sid.Runtime, ships []*wake.Maneuver) *Result {
 	res := &Result{
 		Name:           spec.Name,
-		ClustersFormed: rt.ClustersFormed,
-		Cancelled:      rt.Cancelled,
-		Failovers:      rt.Failovers,
+		ClustersFormed: rt.ClustersFormed(),
+		Cancelled:      rt.Cancelled(),
+		Failovers:      rt.Failovers(),
 	}
 	for i, m := range ships {
 		sr := truth(spec, cfg, m)

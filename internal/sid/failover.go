@@ -3,6 +3,7 @@ package sid
 import (
 	"fmt"
 
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
 
@@ -157,7 +158,12 @@ func (r *Runtime) claimHead(ns *nodeState, epoch int) {
 	ns.deadline = ns.membership
 	ns.reports = ns.reports[:0]
 	ns.extended = false
-	r.Failovers++
+	r.ctr.failovers.Inc()
+	if r.col.Journaling() {
+		r.col.Emit(now, obs.KindFailoverElect, obs.FailoverElect{
+			Old: int(old), New: int(ns.id),
+		})
+	}
 	if ns.hasReport {
 		r.acceptReport(ns, ns.lastReport)
 	}

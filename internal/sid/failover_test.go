@@ -97,13 +97,13 @@ func TestHeadFailoverMidCollection(t *testing.T) {
 	if *victim < 0 {
 		t.Fatal("probe never found a cluster head to kill")
 	}
-	if rt.Failovers == 0 {
+	if rt.Failovers() == 0 {
 		t.Fatal("head died mid-collection but no failover happened")
 	}
 	reports := rt.SinkReports()
 	if len(reports) == 0 {
 		t.Fatalf("no sink report despite failover (failovers=%d, cancelled=%d)",
-			rt.Failovers, rt.Cancelled)
+			rt.Failovers(), rt.Cancelled())
 	}
 	for _, sr := range reports {
 		if sr.Head == *victim {
@@ -130,8 +130,8 @@ func TestNoFailoverLosesCollection(t *testing.T) {
 	if *victim < 0 {
 		t.Fatal("probe never found a cluster head to kill")
 	}
-	if rt.Failovers != 0 {
-		t.Errorf("failovers = %d with failover disabled", rt.Failovers)
+	if rt.Failovers() != 0 {
+		t.Errorf("failovers = %d with failover disabled", rt.Failovers())
 	}
 	deadHeadCancel := false
 	for _, ev := range rt.Evaluations() {
@@ -168,9 +168,9 @@ func TestBurstLossReliableStillConfirms(t *testing.T) {
 	}
 	if len(rt.SinkReports()) == 0 {
 		t.Fatalf("no confirmation under burst loss with reliable transport (clusters=%d cancelled=%d)",
-			rt.ClustersFormed, rt.Cancelled)
+			rt.ClustersFormed(), rt.Cancelled())
 	}
-	st := rt.Network().Stats
+	st := rt.Network().Stats()
 	if st.Retransmissions == 0 {
 		t.Error("burst loss should force retransmissions")
 	}
@@ -233,7 +233,7 @@ func TestFaultedRunBitIdenticalAcrossWorkers(t *testing.T) {
 		if err := rt.Run(450); err != nil {
 			t.Fatal(err)
 		}
-		return rt.SinkReports(), rt.Evaluations(), rt.Failovers, rt.Network().Stats
+		return rt.SinkReports(), rt.Evaluations(), rt.Failovers(), rt.Network().Stats()
 	}
 	baseReports, baseEvals, baseFailovers, baseStats := run(1)
 	for _, workers := range []int{0, 3} {

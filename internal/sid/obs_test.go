@@ -1,0 +1,39 @@
+package sid
+
+import "testing"
+
+// TestConsumeBlockNoOpCollectorZeroAllocs pins the observability overhead
+// contract: with no journal attached (the default registry-only collector),
+// the per-node detection step must not allocate. Counter increments are
+// cached atomic handles and journal payloads are only boxed behind the
+// Journaling() guard.
+func TestConsumeBlockNoOpCollectorZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	// A high threshold multiplier keeps the quiet sea below the anomaly
+	// threshold, so the (allocating) report path never fires and the test
+	// measures the pure sense→detect loop.
+	cfg.Detect.M = 10
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := rt.nodes[0]
+	blk := ns.sens.SampleBlock(rt.model, 0, 50, &ns.bufs)
+	// Warm up: detector batch buffers and window rings reach steady-state
+	// capacity during the first windows.
+	for i := 0; i < 50; i++ {
+		ns.block = blk
+		rt.consumeBlock(ns)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ns.block = blk
+		rt.consumeBlock(ns)
+	})
+	if allocs != 0 {
+		t.Errorf("consumeBlock allocated %.1f objects/op with a no-op collector, want 0", allocs)
+	}
+	if len(rt.nodeReports) != 0 {
+		t.Fatalf("quiet sea produced %d node reports; raise Detect.M so the test measures the no-detection path", len(rt.nodeReports))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/sid-wsn/sid/internal/detect"
 	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/ocean"
 	"github.com/sid-wsn/sid/internal/parallel"
 	"github.com/sid-wsn/sid/internal/sensor"
@@ -129,6 +130,14 @@ type Config struct {
 	Workers int
 	// Seed drives every random stream in the deployment.
 	Seed int64
+	// Obs is the observability collector the deployment reports into
+	// (metrics registry, optional journal, optional profiler). Nil gets a
+	// private registry-only collector, so counters always work. Journal
+	// events carry simulation time exclusively and are emitted only from
+	// the scheduler's serial phases, so the journal is byte-identical
+	// across Workers values; attaching a collector never changes
+	// simulation results.
+	Obs *obs.Collector
 }
 
 // DefaultConfig returns a 4×5 grid at 25 m spacing on a smooth sea with
@@ -247,16 +256,73 @@ type Runtime struct {
 	sinkReports []SinkReport
 	nodeReports []NodeReport
 	evaluations []Evaluation
-	sendErrors  int
-	// Cancelled counts temporary clusters cancelled as false alarms.
-	Cancelled int
-	// ClustersFormed counts temporary cluster setups.
-	ClustersFormed int
-	// Failovers counts successful cluster-head takeovers.
-	Failovers int
-	// DeadlineExtensions counts one-time collection-deadline extensions.
-	DeadlineExtensions int
+
+	// col is the observability collector; ctr caches its registry counter
+	// handles (the source of truth for the protocol tallies); cHist is the
+	// correlation-coefficient histogram.
+	col   *obs.Collector
+	ctr   sidCounters
+	cHist *obs.Histogram
 }
+
+// sidCounters caches the registry handles behind the Runtime's protocol
+// tallies so hot-path increments skip the registry's name lookup.
+type sidCounters struct {
+	clustersFormed *obs.Counter
+	cancelled      *obs.Counter
+	failovers      *obs.Counter
+	deadlineExt    *obs.Counter
+	sendErrors     *obs.Counter
+}
+
+// clusterCBounds buckets the correlation coefficient C ∈ [0,1] around the
+// default 0.7 detection threshold.
+var clusterCBounds = []float64{0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 1}
+
+func (r *Runtime) bindCounters() {
+	reg := r.col.Registry()
+	r.ctr = sidCounters{
+		clustersFormed: reg.Counter("sid.clusters_formed"),
+		cancelled:      reg.Counter("sid.cancelled"),
+		failovers:      reg.Counter("sid.failovers"),
+		deadlineExt:    reg.Counter("sid.deadline_extensions"),
+		sendErrors:     reg.Counter("sid.send_errors"),
+	}
+	r.cHist = reg.Histogram("cluster.c", clusterCBounds)
+}
+
+// gaugeTreeDepth publishes the routing tree's maximum hop count as the
+// "sid.tree_depth" gauge (updated again after failover route repair).
+func (r *Runtime) gaugeTreeDepth() {
+	depth := 0
+	for _, h := range r.tree.Hops {
+		if h > depth {
+			depth = h
+		}
+	}
+	r.col.Registry().Gauge("sid.tree_depth").Set(float64(depth))
+}
+
+// Cancelled returns how many temporary clusters ended without a confirmed
+// detection: cancelled for lack of reports, lost to head death, or
+// evaluated below the correlation threshold (registry: "sid.cancelled").
+func (r *Runtime) Cancelled() int { return int(r.ctr.cancelled.Value()) }
+
+// ClustersFormed counts temporary cluster setups (registry:
+// "sid.clusters_formed").
+func (r *Runtime) ClustersFormed() int { return int(r.ctr.clustersFormed.Value()) }
+
+// Failovers counts successful cluster-head takeovers (registry:
+// "sid.failovers").
+func (r *Runtime) Failovers() int { return int(r.ctr.failovers.Value()) }
+
+// DeadlineExtensions counts one-time collection-deadline extensions
+// (registry: "sid.deadline_extensions").
+func (r *Runtime) DeadlineExtensions() int { return int(r.ctr.deadlineExt.Value()) }
+
+// Observability returns the deployment's collector (never nil; a private
+// registry-only collector is created when Config.Obs was nil).
+func (r *Runtime) Observability() *obs.Collector { return r.col }
 
 // countSend books a synchronous send failure (typically: no route to the
 // destination because intermediate nodes died) against the sending node
@@ -264,14 +330,20 @@ type Runtime struct {
 // these are the errors the protocol used to discard silently.
 func (r *Runtime) countSend(id wsn.NodeID, err error) {
 	if err != nil {
-		r.sendErrors++
+		r.ctr.sendErrors.Inc()
 		r.nodes[id].sendErrs++
+		if r.col.Journaling() {
+			r.col.Emit(r.sched.Now(), obs.KindSendError, obs.SendError{
+				Node: int(id), Err: err.Error(),
+			})
+		}
 	}
 }
 
 // SendErrors returns the deployment-wide count of synchronous send
-// failures (routing errors at send time — distinct from radio frame loss).
-func (r *Runtime) SendErrors() int { return r.sendErrors }
+// failures (routing errors at send time — distinct from radio frame loss;
+// registry: "sid.send_errors").
+func (r *Runtime) SendErrors() int { return int(r.ctr.sendErrors.Value()) }
 
 // NodeSendErrors returns per-node synchronous send-failure counts,
 // indexed by node ID.
@@ -303,13 +375,20 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	col := cfg.Obs
+	if col == nil {
+		col = obs.New()
+	}
+	net.SetCollector(col)
 	r := &Runtime{
 		cfg:   cfg,
 		sched: sched,
 		net:   net,
 		field: field,
 		model: sensor.Composite{field},
+		col:   col,
 	}
+	r.bindCounters()
 	seedRNG := sched.RNG("sid.nodes")
 	for i, pos := range positions {
 		id := wsn.NodeID(i)
@@ -349,6 +428,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		return nil, err
 	}
 	r.tree = tree
+	r.gaugeTreeDepth()
 	if !cfg.Faults.Empty() {
 		if err := fault.Apply(cfg.Faults, net); err != nil {
 			return nil, err
@@ -446,13 +526,17 @@ func (r *Runtime) Run(dur float64) error {
 				active = append(active, ns)
 			}
 		}
+		stop := r.col.Profiler().Start("synthesis")
 		parallel.ForEach(len(active), r.cfg.Workers, func(i int) {
 			ns := active[i]
 			ns.block = ns.sens.SampleBlock(r.model, t, perBatch, &ns.bufs)
 		})
+		stop()
+		stop = r.col.Profiler().Start("detect")
 		for _, ns := range active {
 			r.consumeBlock(ns)
 		}
+		stop()
 		next := t + float64(perBatch)/sampleRate
 		if next < end {
 			_ = r.sched.Schedule(next, func() { batchAt(next, sampleIdx+perBatch) })
@@ -502,6 +586,18 @@ func (r *Runtime) consumeBlock(ns *nodeState) {
 		if node.Battery != nil {
 			node.Battery.Consume(wsn.CostCPU)
 		}
+		// Journal windows with at least one crossing (quiet windows would
+		// drown the ring, and their Onset is NaN — not JSON). The guard
+		// keeps the no-op path allocation-free: the payload is only boxed
+		// when a journal is attached.
+		if ws.Crossings > 0 && r.col.Journaling() {
+			r.col.Emit(r.sched.Now(), obs.KindNodeWindow, obs.NodeWindow{
+				Node: int(ns.id), Start: ws.Start, End: ws.End,
+				AF: ws.AnomalyFreq, Crossings: ws.Crossings,
+				Energy: ws.Energy, Onset: ws.Onset,
+				Threshold: ws.Threshold, Mean: ws.Mean, Std: ws.Std,
+			})
+		}
 		if ns.det.Detected(ws) {
 			r.onNodeDetection(ns, node, ns.det.ReportOf(ws))
 		}
@@ -524,10 +620,22 @@ func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Repo
 	r.nodeReports = append(r.nodeReports, NodeReport{
 		Node: ns.id, Time: now, Onset: payload.Onset, Energy: payload.Energy,
 	})
+	if r.col.Journaling() {
+		r.col.Emit(now, obs.KindNodeReport, obs.NodeReport{
+			Node: int(ns.id), Row: ns.row, Onset: payload.Onset,
+			Energy: payload.Energy, AF: rep.AnomalyFreq,
+		})
+	}
 	if ns.inTempCluster && now < ns.membership {
 		if ns.isHead {
 			r.acceptReport(ns, payload)
 			return
+		}
+		if r.col.Journaling() {
+			r.col.Emit(now, obs.KindReportSend, obs.ReportSend{
+				Node: int(ns.id), Head: int(ns.headID),
+				Onset: payload.Onset, Energy: payload.Energy,
+			})
 		}
 		r.countSend(ns.id, r.net.SendMultiHop(ns.id, ns.headID, KindReport, payload))
 		return
@@ -540,7 +648,12 @@ func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Repo
 	ns.deadline = ns.membership
 	ns.reports = ns.reports[:0]
 	ns.extended = false
-	r.ClustersFormed++
+	r.ctr.clustersFormed.Inc()
+	if r.col.Journaling() {
+		r.col.Emit(now, obs.KindClusterSetup, obs.ClusterSetup{
+			Head: int(ns.id), Deadline: ns.deadline,
+		})
+	}
 	r.acceptReport(ns, payload)
 	r.countSend(ns.id, r.net.Flood(ns.id, r.cfg.ClusterHops, KindInvite, ns.id))
 	deadline := ns.deadline
@@ -569,6 +682,11 @@ func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
 		ns.headID = head
 		ns.membership = r.sched.Now() + r.cfg.CollectWindow
 		ns.awakeTil = ns.membership // wake a sleeping node for the window
+		if r.col.Journaling() {
+			r.col.Emit(r.sched.Now(), obs.KindClusterJoin, obs.ClusterJoin{
+				Node: int(ns.id), Head: int(head), Until: ns.membership,
+			})
+		}
 		r.observeHead(ns)
 	case KindHeartbeat:
 		head, ok := msg.Payload.(wsn.NodeID)
@@ -601,6 +719,14 @@ func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
 		if node.ID == r.cfg.SinkID {
 			payload.Time = node.LocalTime(r.sched.Now())
 			r.sinkReports = append(r.sinkReports, payload)
+			if r.col.Journaling() {
+				r.col.Emit(r.sched.Now(), obs.KindSinkReport, obs.SinkReport{
+					Head: int(payload.Head), C: payload.C,
+					Reports: payload.Reports, MeanOnset: payload.MeanOnset,
+					HasSpeed: payload.HasSpeed, Speed: payload.Speed,
+					Heading: payload.Heading,
+				})
+			}
 		}
 	}
 }
@@ -621,6 +747,19 @@ const eventGap = 15.0
 // estimator needs.
 func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
 	head.lastReportAt = r.sched.Now()
+	if r.col.Journaling() {
+		first := true
+		for i := range head.reports {
+			if head.reports[i].Node == int(p.Node) {
+				first = false
+				break
+			}
+		}
+		r.col.Emit(r.sched.Now(), obs.KindReportAccept, obs.ReportAccept{
+			Head: int(head.id), Node: int(p.Node),
+			Onset: p.Onset, Energy: p.Energy, First: first,
+		})
+	}
 	for i := range head.reports {
 		if head.reports[i].Node == int(p.Node) {
 			cur := &head.reports[i]
@@ -663,7 +802,12 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		ns.headID = -1
 		reports := ns.reports
 		ns.reports = nil
-		r.Cancelled++
+		r.ctr.cancelled.Inc()
+		if r.col.Journaling() {
+			r.col.Emit(r.sched.Now(), obs.KindClusterCancel, obs.ClusterCancel{
+				Head: int(ns.id), Reports: len(reports), Reason: "head-dead",
+			})
+		}
 		r.evaluations = append(r.evaluations, Evaluation{
 			Head: ns.id, Reports: reports,
 			Err: fmt.Errorf("sid: head %d dead at collection deadline", ns.id),
@@ -679,7 +823,12 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		next := deadline + fo.ExtendWindow
 		ns.deadline = next
 		ns.membership = next
-		r.DeadlineExtensions++
+		r.ctr.deadlineExt.Inc()
+		if r.col.Journaling() {
+			r.col.Emit(r.sched.Now(), obs.KindClusterExtend, obs.ClusterExtend{
+				Head: int(ns.id), Deadline: next,
+			})
+		}
 		_ = r.sched.Schedule(next, func() { r.headDeadline(ns, next) })
 		if fo.HeartbeatPeriod > 0 {
 			r.startHeartbeats(ns, next)
@@ -692,14 +841,37 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 	reports := ns.reports
 	ns.reports = nil
 	if len(reports) < r.cfg.MinReports {
-		r.Cancelled++
+		r.ctr.cancelled.Inc()
+		if r.col.Journaling() {
+			r.col.Emit(r.sched.Now(), obs.KindClusterCancel, obs.ClusterCancel{
+				Head: int(ns.id), Reports: len(reports), Reason: "min-reports",
+			})
+		}
 		r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports})
 		return
 	}
+	stop := r.col.Profiler().Start("cluster")
 	res, err := cluster.Evaluate(reports, r.cfg.Cluster)
+	stop()
 	r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports, Result: res, Err: err})
+	if err == nil {
+		r.cHist.Observe(res.C)
+	}
+	if r.col.Journaling() {
+		ev := obs.ClusterEval{
+			Head: int(ns.id), Reports: len(reports),
+			C: res.C, CNt: res.CNt, CNe: res.CNe,
+			Sweep: res.Sweep, OrderTau: res.OrderTau,
+			RowsUsed: res.RowsUsed, RowsTotal: res.RowsTotal,
+			Detected: res.Detected,
+		}
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		r.col.Emit(r.sched.Now(), obs.KindClusterEval, ev)
+	}
 	if err != nil || !res.Detected {
-		r.Cancelled++
+		r.ctr.cancelled.Inc()
 		return
 	}
 	sink := SinkReport{
@@ -714,7 +886,19 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 	for i, rep := range reports {
 		dets[i] = speed.Detection{Pos: rep.Pos, Time: rep.Onset, Energy: rep.Energy}
 	}
-	if est, err := speed.EstimateFromDetections(dets, res.TravelLine, r.cfg.Grid.Spacing); err == nil {
+	stop = r.col.Profiler().Start("speed")
+	est, fits, estErr := speed.EstimateFromDetectionsTrace(dets, res.TravelLine, r.cfg.Grid.Spacing)
+	stop()
+	if r.col.Journaling() {
+		for _, fit := range fits {
+			r.col.Emit(r.sched.Now(), obs.KindSpeedFit, obs.SpeedFit{
+				Head: int(ns.id), AlphaRad: fit.Alpha,
+				Slope: fit.Slope, SSE: fit.SSE,
+				OK: fit.OK, Chosen: fit.Chosen,
+			})
+		}
+	}
+	if estErr == nil {
 		sink.HasSpeed = true
 		sink.Speed = est.Speed
 		sink.Heading = est.Alpha
@@ -729,6 +913,7 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		if repaired, err := r.net.BuildTree(r.cfg.SinkID); err == nil {
 			r.tree = repaired
 			tree = repaired
+			r.gaugeTreeDepth()
 		}
 	}
 	r.countSend(ns.id, r.net.SendToRoot(tree, ns.id, KindSinkReport, sink))

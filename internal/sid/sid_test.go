@@ -79,7 +79,7 @@ func TestShipCrossingConfirmedAtSink(t *testing.T) {
 	reports := rt.SinkReports()
 	if len(reports) == 0 {
 		t.Fatalf("ship crossing produced no sink reports (clusters formed: %d, cancelled: %d)",
-			rt.ClustersFormed, rt.Cancelled)
+			rt.ClustersFormed(), rt.Cancelled())
 	}
 	r := reports[0]
 	if r.C < cfg.Cluster.CThreshold {
@@ -151,10 +151,10 @@ func TestClusterCancelledWithoutCorroboration(t *testing.T) {
 	if len(rt.SinkReports()) != 0 {
 		t.Errorf("under-corroborated intrusion reached the sink: %+v", rt.SinkReports())
 	}
-	if rt.ClustersFormed == 0 {
+	if rt.ClustersFormed() == 0 {
 		t.Skip("no node detected at all with 3 survivors — nothing to cancel")
 	}
-	if rt.Cancelled == 0 {
+	if rt.Cancelled() == 0 {
 		t.Error("expected cluster cancellations")
 	}
 }
@@ -176,7 +176,7 @@ func TestPacketLossStillDetects(t *testing.T) {
 	}
 	if len(rt.SinkReports()) == 0 {
 		t.Errorf("detection lost to packet loss (formed %d, cancelled %d, net stats %+v)",
-			rt.ClustersFormed, rt.Cancelled, rt.Network().Stats)
+			rt.ClustersFormed(), rt.Cancelled(), rt.Network().Stats())
 	}
 }
 
@@ -251,7 +251,7 @@ func TestTwoShipsTwoDetections(t *testing.T) {
 	reports := rt.SinkReports()
 	if len(reports) < 2 {
 		t.Fatalf("expected ≥2 confirmed intrusions, got %d (formed %d, cancelled %d)",
-			len(reports), rt.ClustersFormed, rt.Cancelled)
+			len(reports), rt.ClustersFormed(), rt.Cancelled())
 	}
 	// The two confirmations should be well separated in time.
 	var onsets []float64

@@ -120,11 +120,32 @@ type Detection struct {
 // highest detected energy"), it picks the strongest-energy eligible pair
 // per side.
 func EstimateFromDetections(dets []Detection, line geo.Line, d float64) (Estimate, error) {
+	est, _, err := EstimateFromDetectionsTrace(dets, line, d)
+	return est, err
+}
+
+// CandidateFit records one candidate heading of the reflection-ambiguity
+// resolution in EstimateFromDetections: the candidate α, the fitted
+// arrival-law slope (1/v in s/m) and residual sum of squares, whether the
+// fit was admissible (positive slope, non-degenerate spread), and whether
+// it won. Exposed for telemetry; the estimate itself is unaffected.
+type CandidateFit struct {
+	Alpha  float64
+	Slope  float64
+	SSE    float64
+	OK     bool
+	Chosen bool
+}
+
+// EstimateFromDetectionsTrace is EstimateFromDetections plus the per
+// candidate-heading fits of the ambiguity resolution, for journaling. The
+// trace is nil when the four-node assembly fails before any fit runs.
+func EstimateFromDetectionsTrace(dets []Detection, line geo.Line, d float64) (Estimate, []CandidateFit, error) {
 	if d <= 0 {
-		return Estimate{}, fmt.Errorf("speed: grid spacing must be positive, got %g", d)
+		return Estimate{}, nil, fmt.Errorf("speed: grid spacing must be positive, got %g", d)
 	}
 	if len(dets) < 4 {
-		return Estimate{}, fmt.Errorf("speed: need at least 4 detections, got %d", len(dets))
+		return Estimate{}, nil, fmt.Errorf("speed: need at least 4 detections, got %d", len(dets))
 	}
 	var pos, neg []Detection
 	for _, det := range dets {
@@ -136,15 +157,15 @@ func EstimateFromDetections(dets []Detection, line geo.Line, d float64) (Estimat
 	}
 	pi, err := strongestPair(pos, d)
 	if err != nil {
-		return Estimate{}, fmt.Errorf("speed: positive side: %w", err)
+		return Estimate{}, nil, fmt.Errorf("speed: positive side: %w", err)
 	}
 	pj, err := strongestPair(neg, d)
 	if err != nil {
-		return Estimate{}, fmt.Errorf("speed: negative side: %w", err)
+		return Estimate{}, nil, fmt.Errorf("speed: negative side: %w", err)
 	}
 	est, err := Estimate4(pi[0].Time, pi[1].Time, pj[0].Time, pj[1].Time, d)
 	if err != nil {
-		return Estimate{}, err
+		return Estimate{}, nil, err
 	}
 	// Resolve the reflection ambiguities. The four timestamps pin |tan α|
 	// (eq. 16) but not the quadrant: the travel line handed in is
@@ -157,8 +178,10 @@ func EstimateFromDetections(dets []Detection, line geo.Line, d float64) (Estimat
 	// Scoring all detections keeps a single noisy onset from flipping the
 	// branch. Speed is invariant under these reflections and stays as
 	// eqs. (14)–(15) computed it.
-	bestAlpha, bestSSE := est.Alpha, math.Inf(1)
+	bestAlpha, bestSSE, bestIdx := est.Alpha, math.Inf(1), -1
+	trace := make([]CandidateFit, 0, 4)
 	for _, a := range []float64{est.Alpha, -est.Alpha, math.Pi - est.Alpha, math.Pi + est.Alpha} {
+		fit := CandidateFit{Alpha: geo.NormalizeAngle(a)}
 		u := geo.Vec2{X: math.Cos(a), Y: math.Sin(a)}
 		n := float64(len(dets))
 		var sx, sy, sxx, sxy float64
@@ -171,10 +194,13 @@ func EstimateFromDetections(dets []Detection, line geo.Line, d float64) (Estimat
 		}
 		den := sxx - sx*sx/n
 		if den <= 0 {
+			trace = append(trace, fit)
 			continue
 		}
 		slope := (sxy - sx*sy/n) / den
+		fit.Slope = slope
 		if slope <= 0 {
+			trace = append(trace, fit)
 			continue
 		}
 		icept := (sy - slope*sx) / n
@@ -184,13 +210,19 @@ func EstimateFromDetections(dets []Detection, line geo.Line, d float64) (Estimat
 			r := det.Time - icept - slope*s
 			sse += r * r
 		}
+		fit.SSE = sse
+		fit.OK = true
 		if sse < bestSSE {
-			bestSSE, bestAlpha = sse, a
+			bestSSE, bestAlpha, bestIdx = sse, a, len(trace)
 		}
+		trace = append(trace, fit)
+	}
+	if bestIdx >= 0 {
+		trace[bestIdx].Chosen = true
 	}
 	est.Alpha = geo.NormalizeAngle(bestAlpha)
 	est.Forward = math.Cos(est.Alpha) > 0
-	return est, nil
+	return est, trace, nil
 }
 
 // strongestPair finds the highest-energy detection that has a +column

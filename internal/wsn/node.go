@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/sim"
 )
 
@@ -169,22 +170,98 @@ type Network struct {
 	arqRNG  *rand.Rand
 	pending map[uint64]struct{}
 
-	// Stats counts link-level activity.
-	Stats Stats
+	// col is the observability collector; ctr caches the registry counter
+	// handles behind Stats() so increments stay lock-free.
+	col *obs.Collector
+	ctr netCounters
 }
 
-// Stats aggregates network-level counters.
+// Stats is a snapshot of the network-level counters (the registry under
+// "wsn.*" metric names; read it via Network.Stats).
 type Stats struct {
-	Sent      int // frames transmitted (including retries and forwards)
-	Delivered int // frames delivered to a handler
-	Lost      int // frames dropped by the loss process
-	Duplicate int // flooded frames suppressed as duplicates
+	// Sent counts every frame handed to the radio: originals, blind
+	// link-layer retries, multi-hop forwards, flood rebroadcasts, ARQ
+	// retransmissions, and ACK frames.
+	Sent int
+	// Delivered counts frames consumed by a protocol or application
+	// handler (local sink deliveries included; duplicates excluded).
+	Delivered int
+	// Lost counts frames dropped by the loss process (Bernoulli or a
+	// pluggable channel model), before any propagation delay.
+	Lost int
+	// Duplicate counts flooded frames suppressed by a receiver that had
+	// already consumed the same flood sequence number.
+	Duplicate int
 
-	// Reliable-transport counters (zero unless Radio.Reliable is enabled).
-	Acks              int // ACK frames transmitted
-	Retransmissions   int // timeout-driven data-frame retransmissions
-	ReliableDelivered int // reliable hops that reached their receiver
-	ReliableDropped   int // reliable hops abandoned after MaxRetrans
+	// Acks counts ACK frames transmitted by the reliable per-hop
+	// transport (zero unless Radio.Reliable is enabled; ACKs also appear
+	// in Sent and, when lost, in Lost).
+	Acks int
+	// Retransmissions counts timeout-driven data-frame retransmissions of
+	// the reliable transport (blind Radio.Retries are not included — they
+	// are same-instant repeats inside one Sent attempt sequence).
+	Retransmissions int
+	// ReliableDelivered counts reliable hops whose data frame reached its
+	// receiver's handler exactly once (retransmitted duplicates are
+	// suppressed and not re-counted).
+	ReliableDelivered int
+	// ReliableDropped counts reliable hops abandoned with the receiver
+	// never having consumed the frame — retransmissions exhausted or the
+	// sender died mid-exchange. Hops where only ACKs were lost do not
+	// count: the payload arrived.
+	ReliableDropped int
+}
+
+// netCounters caches the registry handles for the Stats fields.
+type netCounters struct {
+	sent, delivered, lost, duplicate        *obs.Counter
+	acks, retrans, relDelivered, relDropped *obs.Counter
+}
+
+// bindCounters (re-)resolves the counter handles from the collector's
+// registry.
+func (w *Network) bindCounters() {
+	reg := w.col.Registry()
+	w.ctr = netCounters{
+		sent:         reg.Counter("wsn.sent"),
+		delivered:    reg.Counter("wsn.delivered"),
+		lost:         reg.Counter("wsn.lost"),
+		duplicate:    reg.Counter("wsn.duplicate"),
+		acks:         reg.Counter("wsn.acks"),
+		retrans:      reg.Counter("wsn.retransmissions"),
+		relDelivered: reg.Counter("wsn.reliable_delivered"),
+		relDropped:   reg.Counter("wsn.reliable_dropped"),
+	}
+}
+
+// SetCollector rebinds the network's metrics onto col's registry and
+// routes journal events to col. Call it before any traffic flows (counts
+// accumulated under the previous registry are not migrated); the sid
+// runtime does this at construction so deployment and network metrics
+// share one registry.
+func (w *Network) SetCollector(col *obs.Collector) {
+	if col == nil {
+		return
+	}
+	w.col = col
+	w.bindCounters()
+}
+
+// Collector returns the network's observability collector (never nil).
+func (w *Network) Collector() *obs.Collector { return w.col }
+
+// Stats snapshots the network-level counters.
+func (w *Network) Stats() Stats {
+	return Stats{
+		Sent:              int(w.ctr.sent.Value()),
+		Delivered:         int(w.ctr.delivered.Value()),
+		Lost:              int(w.ctr.lost.Value()),
+		Duplicate:         int(w.ctr.duplicate.Value()),
+		Acks:              int(w.ctr.acks.Value()),
+		Retransmissions:   int(w.ctr.retrans.Value()),
+		ReliableDelivered: int(w.ctr.relDelivered.Value()),
+		ReliableDropped:   int(w.ctr.relDropped.Value()),
+	}
 }
 
 // SetLossModel replaces the radio's Bernoulli frame-loss draw with a custom
@@ -213,7 +290,9 @@ func NewNetwork(sched *sim.Scheduler, positions []geo.Vec2, radio RadioConfig) (
 		rng:     sched.RNG("wsn.radio"),
 		arqRNG:  sched.RNG("wsn.arq"),
 		pending: make(map[uint64]struct{}),
+		col:     obs.New(),
 	}
+	net.bindCounters()
 	clockRNG := sched.RNG("wsn.clock")
 	const maxOffset = 0.05   // ±50 ms initial offset
 	const maxDriftPPM = 20.0 // ±20 ppm drift
@@ -320,12 +399,12 @@ func (w *Network) transmit(from, to *Node, msg Message) bool {
 	if !from.Alive() {
 		return false
 	}
-	w.Stats.Sent++
+	w.ctr.sent.Inc()
 	if from.Battery != nil {
 		from.Battery.Consume(CostTx)
 	}
 	if w.lossy() {
-		w.Stats.Lost++
+		w.ctr.lost.Inc()
 		return false
 	}
 	delay := w.frameDelay()
@@ -344,7 +423,7 @@ func (w *Network) transmit(from, to *Node, msg Message) bool {
 }
 
 func (w *Network) deliver(n *Node, msg Message) {
-	w.Stats.Delivered++
+	w.ctr.delivered.Inc()
 	if h, ok := n.protocols[msg.Kind]; ok {
 		h(n, msg)
 		return
@@ -426,12 +505,12 @@ func (w *Network) transmitFlood(from, to *Node, msg Message) {
 	if !from.Alive() {
 		return
 	}
-	w.Stats.Sent++
+	w.ctr.sent.Inc()
 	if from.Battery != nil {
 		from.Battery.Consume(CostTx)
 	}
 	if w.lossy() {
-		w.Stats.Lost++
+		w.ctr.lost.Inc()
 		return
 	}
 	delay := w.frameDelay()
@@ -446,7 +525,7 @@ func (w *Network) transmitFlood(from, to *Node, msg Message) {
 			to.Battery.Consume(CostRx)
 		}
 		if _, dup := to.seen[fwd.Seq]; dup {
-			w.Stats.Duplicate++
+			w.ctr.duplicate.Inc()
 			return
 		}
 		to.seen[fwd.Seq] = struct{}{}

@@ -1,6 +1,10 @@
 package wsn
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/sid-wsn/sid/internal/obs"
+)
 
 // Reliable transport: a per-hop stop-and-wait ARQ layered under the unicast
 // and multi-hop send paths. Every data frame carries a hop-unique ARQ ID;
@@ -112,18 +116,35 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 		}
 		if !from.Alive() {
 			delete(w.pending, id)
-			w.Stats.ReliableDropped++
+			// As in the give-up path below, a drop is only real data loss
+			// when the receiver never consumed the frame; a dead sender that
+			// merely missed its ACKs did deliver.
+			_, got := to.seenARQ[id]
+			if !got {
+				w.ctr.relDropped.Inc()
+			}
+			if w.col.Journaling() {
+				w.col.Emit(w.Sched.Now(), obs.KindArqDrop, obs.ArqDrop{
+					From: int(from.ID), To: int(to.ID), ARQ: id,
+					Received: got, Reason: "sender-dead",
+				})
+			}
 			return
 		}
 		if k > 0 {
-			w.Stats.Retransmissions++
+			w.ctr.retrans.Inc()
+			if w.col.Journaling() {
+				w.col.Emit(w.Sched.Now(), obs.KindArqRetransmit, obs.ArqHop{
+					From: int(from.ID), To: int(to.ID), ARQ: id, Attempt: k,
+				})
+			}
 		}
-		w.Stats.Sent++
+		w.ctr.sent.Inc()
 		if from.Battery != nil {
 			from.Battery.Consume(CostTx)
 		}
 		if w.lossy() {
-			w.Stats.Lost++
+			w.ctr.lost.Inc()
 		} else {
 			toEpoch := to.epoch
 			_ = w.Sched.After(w.frameDelay(), func() {
@@ -137,7 +158,7 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 				to.seenARQ[id] = struct{}{}
 				w.sendAck(to, from, id)
 				if !dup {
-					w.Stats.ReliableDelivered++
+					w.ctr.relDelivered.Inc()
 					cont(to, msg)
 				}
 			})
@@ -153,8 +174,15 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 				// Count a drop only if the receiver never saw the frame:
 				// when only the ACKs were lost the payload did arrive, and
 				// the simulation's omniscient stats should say so.
-				if _, got := to.seenARQ[id]; !got {
-					w.Stats.ReliableDropped++
+				_, got := to.seenARQ[id]
+				if !got {
+					w.ctr.relDropped.Inc()
+				}
+				if w.col.Journaling() {
+					w.col.Emit(w.Sched.Now(), obs.KindArqDrop, obs.ArqDrop{
+						From: int(from.ID), To: int(to.ID), ARQ: id,
+						Received: got, Reason: "retrans-exhausted",
+					})
 				}
 			}
 		})
@@ -166,13 +194,18 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 // fire-and-forget (a lost ACK just costs one retransmission, which the
 // receiver's duplicate suppression absorbs).
 func (w *Network) sendAck(from, to *Node, id uint64) {
-	w.Stats.Sent++
-	w.Stats.Acks++
+	w.ctr.sent.Inc()
+	w.ctr.acks.Inc()
+	if w.col.Journaling() {
+		w.col.Emit(w.Sched.Now(), obs.KindArqAck, obs.ArqHop{
+			From: int(from.ID), To: int(to.ID), ARQ: id,
+		})
+	}
 	if from.Battery != nil {
 		from.Battery.Consume(CostTx)
 	}
 	if w.lossy() {
-		w.Stats.Lost++
+		w.ctr.lost.Inc()
 		return
 	}
 	toEpoch := to.epoch

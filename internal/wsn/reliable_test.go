@@ -62,7 +62,7 @@ func TestReliableUnicastOvercomesLoss(t *testing.T) {
 	if delivered < sends-1 {
 		t.Errorf("delivered %d/%d", delivered, sends)
 	}
-	st := net.Stats
+	st := net.Stats()
 	if st.Retransmissions == 0 {
 		t.Error("expected retransmissions at 50% loss")
 	}
@@ -109,7 +109,7 @@ func TestReliableGivesUpAfterBound(t *testing.T) {
 		}
 	}
 	sched.RunAll()
-	st := net.Stats
+	st := net.Stats()
 	// Two attempts at 90% loss: ~81% of sends are abandoned.
 	if st.ReliableDropped == 0 {
 		t.Fatal("expected drops after the retransmission bound")
@@ -186,8 +186,8 @@ func TestReliableEnergyAccounted(t *testing.T) {
 	if b1.Used(CostTx) != cfg.TxJ || b1.Used(CostRx) != cfg.RxJ {
 		t.Errorf("receiver energy tx=%g rx=%g", b1.Used(CostTx), b1.Used(CostRx))
 	}
-	if net.Stats.Acks != 1 {
-		t.Errorf("Acks = %d", net.Stats.Acks)
+	if net.Stats().Acks != 1 {
+		t.Errorf("Acks = %d", net.Stats().Acks)
 	}
 }
 
@@ -237,7 +237,7 @@ func TestReliableRetransmissionReachesRevivedNode(t *testing.T) {
 	if delivered != 1 {
 		t.Errorf("deliveries = %d, want 1 via retransmission", delivered)
 	}
-	if net.Stats.Retransmissions == 0 {
+	if net.Stats().Retransmissions == 0 {
 		t.Error("expected a retransmission to the revived node")
 	}
 }

@@ -117,12 +117,12 @@ func (w *Network) transmitRelay(from, to *Node, msg Message, cont func(*Node, Me
 	if !from.Alive() {
 		return false
 	}
-	w.Stats.Sent++
+	w.ctr.sent.Inc()
 	if from.Battery != nil {
 		from.Battery.Consume(CostTx)
 	}
 	if w.lossy() {
-		w.Stats.Lost++
+		w.ctr.lost.Inc()
 		return false
 	}
 	msg.From = from.ID

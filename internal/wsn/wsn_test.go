@@ -95,8 +95,8 @@ func TestUnicastDelivery(t *testing.T) {
 	if m.Kind != "hello" || m.Src != 0 || m.From != 0 || m.To != 1 || m.Payload.(int) != 42 {
 		t.Errorf("message = %+v", m)
 	}
-	if net.Stats.Delivered != 1 || net.Stats.Sent != 1 {
-		t.Errorf("stats = %+v", net.Stats)
+	if net.Stats().Delivered != 1 || net.Stats().Sent != 1 {
+		t.Errorf("stats = %+v", net.Stats())
 	}
 }
 
@@ -132,7 +132,7 @@ func TestUnicastRetriesOvercomeLoss(t *testing.T) {
 	if delivered < 99 {
 		t.Errorf("delivered %d/100", delivered)
 	}
-	if net.Stats.Lost == 0 {
+	if net.Stats().Lost == 0 {
 		t.Error("expected some lost frames at 50% loss")
 	}
 }
@@ -201,7 +201,7 @@ func TestFloodDuplicateSuppression(t *testing.T) {
 	if len(got) != 8 {
 		t.Errorf("flood reached %d nodes, want 8", len(got))
 	}
-	if net.Stats.Duplicate == 0 {
+	if net.Stats().Duplicate == 0 {
 		t.Error("expected duplicate suppressions in a dense flood")
 	}
 }
@@ -499,7 +499,7 @@ func TestDeadBatteryKillsNode(t *testing.T) {
 		t.Error("expected send failure from a dead-battery node")
 	}
 	sched.RunAll()
-	if net.Stats.Delivered != 0 {
+	if net.Stats().Delivered != 0 {
 		t.Error("dead-battery node transmitted")
 	}
 }

@@ -305,16 +305,16 @@ type Stats struct {
 
 // Stats returns protocol counters.
 func (d *Deployment) Stats() Stats {
-	ns := d.rt.Network().Stats
+	ns := d.rt.Network().Stats()
 	return Stats{
-		ClustersFormed:    d.rt.ClustersFormed,
-		ClustersCancelled: d.rt.Cancelled,
+		ClustersFormed:    d.rt.ClustersFormed(),
+		ClustersCancelled: d.rt.Cancelled(),
 		FramesSent:        ns.Sent,
 		FramesLost:        ns.Lost,
 		Retransmissions:   ns.Retransmissions,
 		Acks:              ns.Acks,
 		ReliableDropped:   ns.ReliableDropped,
-		Failovers:         d.rt.Failovers,
+		Failovers:         d.rt.Failovers(),
 		SendErrors:        d.rt.SendErrors(),
 	}
 }
