@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet baseline obs
+.PHONY: test bench race vet fmt baseline obs replay
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -20,6 +20,20 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fails (listing the files) if anything is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Record→replay smoke: record the single-10kn golden scenario into per-node
+# SIDTRACE files, replay them through the detection pipeline, and require the
+# result to be bit-identical to the originating simulation
+# (see docs/STREAMING.md).
+REPLAY_TMP := $(shell mktemp -d)
+replay:
+	$(GO) run ./cmd/sidtrace record -scenario single-10kn -dir $(REPLAY_TMP)
+	$(GO) run ./cmd/sidtrace replay -dir $(REPLAY_TMP) -verify
+	@rm -rf $(REPLAY_TMP)
 
 # Regenerates the machine-readable perf baseline (BENCH_baseline.json).
 baseline:

@@ -197,6 +197,30 @@ func runBench(path string) error {
 	serial := add("deployment_serial_60s", "5x5 grid, 60 s simulated, Workers=1", deployment(1))
 	par := add("deployment_parallel_60s", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS", deployment(0))
 
+	// Fleet sharding: many small independent fields fanned across cores.
+	// Inner Workers is forced to 1 by the fleet, so this measures the
+	// across-deployment scaling axis rather than within-deployment fan-out.
+	fleet := func(workers int) func() {
+		return func() {
+			fc := sid.FleetConfig{Workers: workers}
+			for i := 0; i < 8; i++ {
+				dc := sid.DefaultConfig()
+				dc.Grid.Rows, dc.Grid.Cols = 3, 3
+				dc.Seed = int64(100 + i)
+				fc.Deployments = append(fc.Deployments, dc)
+			}
+			fl, err := sid.NewFleet(fc)
+			if err != nil {
+				panic(err)
+			}
+			if err := fl.Run(30); err != nil {
+				panic(err)
+			}
+		}
+	}
+	fserial := add("fleet_8x30s_serial", "8 independent 3x3 fields, 30 s simulated, fleet Workers=1", fleet(1))
+	fpar := add("fleet_8x30s_parallel", "8 independent 3x3 fields, 30 s simulated, fleet Workers=GOMAXPROCS", fleet(0))
+
 	// Stage breakdown: one profiled deployment with an intruder crossing,
 	// so every pipeline stage (synthesis, detect, cluster, speed) runs.
 	stages, err := profileStages()
@@ -243,6 +267,7 @@ func runBench(path string) error {
 		Derived: map[string]string{
 			"field_series_speedup":        fmt.Sprintf("%.2fx", perSample.NsPerOp/batched.NsPerOp),
 			"deployment_parallel_speedup": fmt.Sprintf("%.2fx", serial.NsPerOp/par.NsPerOp),
+			"fleet_parallel_speedup":      fmt.Sprintf("%.2fx", fserial.NsPerOp/fpar.NsPerOp),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

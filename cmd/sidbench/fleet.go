@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"github.com/sid-wsn/sid/internal/sid"
+)
+
+// runFleetExp measures the fleet sharding axis: N independent surveillance
+// fields × fleet workers, reporting simulated-seconds-per-wall-second
+// throughput and verifying the isolation contract (per-field results
+// identical at every worker count).
+func runFleetExp(seed int64) error {
+	const dur = 30.0
+	sizes := []int{2, 4, 8}
+	workerSet := []int{1, runtime.GOMAXPROCS(0)}
+
+	fmt.Printf("fleet sharding: N independent 3x3 fields, %.0f s simulated each\n", dur)
+	fmt.Printf("%6s %9s %12s %14s %10s\n", "fields", "workers", "wall (ms)", "sim-s/wall-s", "confirms")
+	for _, n := range sizes {
+		var baseline [][]sid.NodeReport
+		for _, workers := range workerSet {
+			fc := sid.FleetConfig{Workers: workers}
+			for i := 0; i < n; i++ {
+				dc := sid.DefaultConfig()
+				dc.Grid.Rows, dc.Grid.Cols = 3, 3
+				dc.Seed = seed + int64(i)
+				fc.Deployments = append(fc.Deployments, dc)
+			}
+			fl, err := sid.NewFleet(fc)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := fl.Run(dur); err != nil {
+				return err
+			}
+			wall := time.Since(start)
+			reports := make([][]sid.NodeReport, n)
+			for i := 0; i < n; i++ {
+				reports[i] = fl.Runtime(i).NodeReports()
+			}
+			if baseline == nil {
+				baseline = reports
+			} else if !reflect.DeepEqual(reports, baseline) {
+				return fmt.Errorf("fleet results differ between worker counts (N=%d, workers=%d)", n, workers)
+			}
+			fmt.Printf("%6d %9d %12.1f %14.1f %10d\n",
+				n, workers, float64(wall.Microseconds())/1000,
+				float64(n)*dur/wall.Seconds(), fl.SinkReportsTotal())
+		}
+	}
+	fmt.Println("per-field results verified identical across worker counts")
+	return nil
+}

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,scenarios or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,scenarios,fleet or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
@@ -214,6 +214,10 @@ func main() {
 
 	run("scenarios", func() error {
 		return runScenarios(*goldenDir, *update, *journalDir, *only)
+	})
+
+	run("fleet", func() error {
+		return runFleetExp(*seed)
 	})
 
 	run("fig12", func() error {

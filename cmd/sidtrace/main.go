@@ -1,5 +1,14 @@
-// Command sidtrace generates and inspects synthetic accelerometer traces in
-// the SID trace format — the stand-in for the paper's sea-trial recordings.
+// Command sidtrace generates, inspects, records and replays accelerometer
+// traces in the SID trace format — the stand-in for the paper's sea-trial
+// recordings.
+//
+// Subcommands close the record→replay loop around the detection pipeline:
+//
+//	sidtrace record -scenario single-10kn -dir traces/   # scenario → per-node SIDTRACE files
+//	sidtrace replay -dir traces/                         # feed them back, print detections
+//	sidtrace replay -dir traces/ -verify                 # re-run the sim, require bit-equality
+//
+// Legacy single-trace generation and inspection remain:
 //
 //	sidtrace -o pass.sidtrc -dur 400 -ship 10 -dist 25   # generate
 //	sidtrace -i pass.sidtrc                              # inspect
@@ -19,6 +28,23 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			if err := recordCmd(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		case "replay":
+			if err := replayCmd(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+
 	var (
 		out    = flag.String("o", "", "output trace file to generate")
 		in     = flag.String("i", "", "input trace file to inspect")
@@ -31,6 +57,11 @@ func main() {
 		tp     = flag.Float64("tp", 6, "sea peak period (s)")
 		seed   = flag.Int64("seed", 1, "random seed")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: sidtrace record|replay [flags]  (see -h of each)\n   or: sidtrace [flags]\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	switch {

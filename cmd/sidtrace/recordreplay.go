@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/scenario"
+	"github.com/sid-wsn/sid/internal/source"
+)
+
+// manifestFile carries the recorded scenario's spec alongside the per-node
+// traces, so replay needs nothing but the directory.
+const manifestFile = "manifest.json"
+
+// recordCmd runs a corpus scenario while teeing every node's sample stream
+// into per-node SIDTRACE files plus a manifest of the generating spec.
+func recordCmd(args []string) error {
+	fs := flag.NewFlagSet("sidtrace record", flag.ExitOnError)
+	name := fs.String("scenario", "single-10kn", "corpus scenario to record (see -list)")
+	dir := fs.String("dir", "traces", "output directory for per-node traces + manifest")
+	list := fs.Bool("list", false, "list corpus scenarios and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, spec := range scenario.Corpus() {
+			fmt.Printf("%-24s %4.0f s, %d ships, seed %d\n",
+				spec.Name, spec.Duration, len(spec.Ships), spec.Seed)
+		}
+		return nil
+	}
+	spec, err := corpusSpec(*name)
+	if err != nil {
+		return err
+	}
+	res, rec, err := scenario.Record(spec, nil)
+	if err != nil {
+		return err
+	}
+	if err := rec.Save(*dir); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, manifestFile), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d node traces in %s (%d node reports, %d confirmations)\n",
+		spec.Name, gridNodes(spec), *dir, len(res.NodeReports), len(res.Sink))
+	return nil
+}
+
+// replayCmd feeds a recorded directory back through the detection pipeline
+// and prints the detections; -verify re-runs the originating simulation and
+// requires bit-identical results.
+func replayCmd(args []string) error {
+	fs := flag.NewFlagSet("sidtrace replay", flag.ExitOnError)
+	dir := fs.String("dir", "traces", "directory written by sidtrace record")
+	verify := fs.Bool("verify", false, "re-run the originating simulation and require bit-identical detections")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(*dir, manifestFile))
+	if err != nil {
+		return fmt.Errorf("reading manifest (was this directory written by sidtrace record?): %w", err)
+	}
+	var spec scenario.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return err
+	}
+	src, err := source.OpenTraceDir(*dir)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	res, err := scenario.Replay(spec, src, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s: %d node reports, %d confirmations\n",
+		spec.Name, len(res.NodeReports), len(res.Sink))
+	for _, rep := range res.Sink {
+		fmt.Printf("  head %d: C=%.3f reports=%d onset=%.1f s", rep.Head, rep.C, rep.Reports, rep.MeanOnset)
+		if rep.HasSpeed {
+			fmt.Printf(" speed=%.1f kn heading=%.0f°", geo.ToKnots(rep.Speed), geo.ToDeg(rep.Heading))
+		}
+		fmt.Println()
+	}
+	if !*verify {
+		return nil
+	}
+	orig, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(res, orig) {
+		return fmt.Errorf("verify FAILED: replay differs from the originating simulation "+
+			"(%d vs %d node reports, %d vs %d confirmations)",
+			len(res.NodeReports), len(orig.NodeReports), len(res.Sink), len(orig.Sink))
+	}
+	fmt.Println("verify OK: replay is bit-identical to the originating simulation")
+	return nil
+}
+
+func corpusSpec(name string) (scenario.Spec, error) {
+	for _, spec := range scenario.Corpus() {
+		if spec.Name == name {
+			return spec, nil
+		}
+	}
+	return scenario.Spec{}, fmt.Errorf("no corpus scenario %q (use record -list)", name)
+}
+
+func gridNodes(spec scenario.Spec) int {
+	rows, cols := spec.Rows, spec.Cols
+	if rows == 0 {
+		rows = 4
+	}
+	if cols == 0 {
+		cols = 5
+	}
+	return rows * cols
+}

@@ -1,0 +1,102 @@
+package sid
+
+import (
+	"fmt"
+
+	"github.com/sid-wsn/sid/internal/sid"
+)
+
+// FleetConfig shards many independent surveillance fields over the
+// process's cores: one Deployment per field, run concurrently. Fields are
+// fully isolated — each has its own scheduler, sea, network and seed — so
+// a fleet run produces exactly the results of running each field alone,
+// only faster.
+type FleetConfig struct {
+	// Deployments configures each field. Per-field Workers is forced to 1:
+	// the fleet parallelizes across fields instead, and results are
+	// bit-identical for any Workers value, so only wall-clock time moves.
+	Deployments []Config
+	// Workers bounds how many fields run concurrently (0 = all cores,
+	// 1 = serial). Results are bit-identical for any value.
+	Workers int
+}
+
+// Fleet is a set of independent deployments run as one unit.
+type Fleet struct {
+	fl     *sid.Fleet
+	fields []*Deployment
+}
+
+// NewFleet builds every field eagerly, so configuration errors surface at
+// construction, attributed to their field index.
+func NewFleet(fc FleetConfig) (*Fleet, error) {
+	ic := sid.FleetConfig{Workers: fc.Workers}
+	for _, cfg := range fc.Deployments {
+		ic.Deployments = append(ic.Deployments, cfg.runtimeConfig())
+	}
+	fl, err := sid.NewFleet(ic)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{fl: fl}
+	for i, cfg := range fc.Deployments {
+		f.fields = append(f.fields, &Deployment{rt: fl.Runtime(i), cfg: cfg})
+	}
+	return f, nil
+}
+
+// Size returns the number of fields.
+func (f *Fleet) Size() int { return len(f.fields) }
+
+// Field returns field i for per-field setup (AddIntruder) and per-field
+// results (Detections, Stats).
+func (f *Fleet) Field(i int) *Deployment { return f.fields[i] }
+
+// AddIntruder schedules a vessel crossing in field i.
+func (f *Fleet) AddIntruder(i int, in Intruder) error {
+	if i < 0 || i >= len(f.fields) {
+		return fmt.Errorf("sid: fleet has no field %d", i)
+	}
+	return f.fields[i].AddIntruder(in)
+}
+
+// Run advances every field by dur seconds of simulated time, fanning the
+// fields across the fleet's workers. The first failing field's error is
+// returned; the rest still complete.
+func (f *Fleet) Run(dur float64) error { return f.fl.Run(dur) }
+
+// Stats sums protocol counters across the fleet.
+func (f *Fleet) Stats() Stats {
+	var total Stats
+	for _, d := range f.fields {
+		s := d.Stats()
+		total.ClustersFormed += s.ClustersFormed
+		total.ClustersCancelled += s.ClustersCancelled
+		total.FramesSent += s.FramesSent
+		total.FramesLost += s.FramesLost
+		total.Retransmissions += s.Retransmissions
+		total.Acks += s.Acks
+		total.ReliableDropped += s.ReliableDropped
+		total.Failovers += s.Failovers
+		total.SendErrors += s.SendErrors
+	}
+	return total
+}
+
+// Detections gathers every field's confirmed intrusions, tagged by field
+// index in FleetDetection.
+func (f *Fleet) Detections() []FleetDetection {
+	var out []FleetDetection
+	for i, d := range f.fields {
+		for _, det := range d.Detections() {
+			out = append(out, FleetDetection{Field: i, Detection: det})
+		}
+	}
+	return out
+}
+
+// FleetDetection is one confirmed intrusion with the field it came from.
+type FleetDetection struct {
+	Field int
+	Detection
+}

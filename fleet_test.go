@@ -1,0 +1,85 @@
+package sid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFleetMatchesStandaloneDeployments pins the facade fleet's isolation
+// contract: every field behaves exactly as the same deployment run alone,
+// and the aggregate stats are the per-field sums.
+func TestFleetMatchesStandaloneDeployments(t *testing.T) {
+	const dur = 200
+	mkCfg := func(seed int64) Config {
+		cfg := DefaultDeployment()
+		cfg.Rows, cfg.Cols = 3, 3
+		cfg.Seed = seed
+		return cfg
+	}
+	seeds := []int64{101, 102, 103}
+
+	solo := make([]*Deployment, len(seeds))
+	for i, seed := range seeds {
+		dep, err := NewDeployment(mkCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.AddIntruder(Intruder{SpeedKnots: 10, CrossAt: 100}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.Run(dur); err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = dep
+	}
+
+	var fc FleetConfig
+	for _, seed := range seeds {
+		fc.Deployments = append(fc.Deployments, mkCfg(seed))
+	}
+	fleet, err := NewFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Size() != len(seeds) {
+		t.Fatalf("fleet size %d, want %d", fleet.Size(), len(seeds))
+	}
+	for i := range seeds {
+		if err := fleet.AddIntruder(i, Intruder{SpeedKnots: 10, CrossAt: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fleet.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+
+	var wantStats Stats
+	for i := range seeds {
+		got := fleet.Field(i).Detections()
+		want := solo[i].Detections()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("field %d: fleet detections differ from standalone deployment", i)
+		}
+		s := solo[i].Stats()
+		wantStats.ClustersFormed += s.ClustersFormed
+		wantStats.ClustersCancelled += s.ClustersCancelled
+		wantStats.FramesSent += s.FramesSent
+		wantStats.FramesLost += s.FramesLost
+		wantStats.Retransmissions += s.Retransmissions
+		wantStats.Acks += s.Acks
+		wantStats.ReliableDropped += s.ReliableDropped
+		wantStats.Failovers += s.Failovers
+		wantStats.SendErrors += s.SendErrors
+	}
+	if got := fleet.Stats(); got != wantStats {
+		t.Errorf("fleet stats %+v, want per-field sum %+v", got, wantStats)
+	}
+	for _, det := range fleet.Detections() {
+		if det.Field < 0 || det.Field >= fleet.Size() {
+			t.Errorf("detection tagged with out-of-range field %d", det.Field)
+		}
+	}
+	if err := fleet.AddIntruder(99, Intruder{SpeedKnots: 5}); err == nil {
+		t.Error("AddIntruder on missing field accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots aggregates per-deployment registry snapshots into one
+// fleet-level view: counters sum (they are event counts), gauges take the
+// maximum (they are point-in-time levels — tree depth, etc. — where the
+// fleet-wide worst case is the useful aggregate), and histograms with
+// identical bounds merge bucket-wise. Histograms whose bounds disagree
+// across snapshots keep the first shape and drop the others — metric names
+// are expected to imply their bounds, so this only happens on misuse.
+//
+// The result is sorted by name like any Snapshot, so merging is
+// deterministic regardless of input order.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	hists := map[string]*HistogramValue{}
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			if cur, ok := gauges[g.Name]; !ok || g.Value > cur {
+				gauges[g.Name] = g.Value
+			}
+		}
+		for _, h := range s.Histograms {
+			cur, ok := hists[h.Name]
+			if !ok {
+				cp := HistogramValue{
+					Name:    h.Name,
+					Bounds:  append([]float64(nil), h.Bounds...),
+					Buckets: append([]int64(nil), h.Buckets...),
+					Count:   h.Count,
+					Sum:     h.Sum,
+				}
+				hists[h.Name] = &cp
+				continue
+			}
+			if !sameBounds(cur.Bounds, h.Bounds) {
+				continue
+			}
+			for i, b := range h.Buckets {
+				cur.Buckets[i] += b
+			}
+			cur.Count += h.Count
+			cur.Sum += h.Sum
+		}
+	}
+	var out Snapshot
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: v})
+	}
+	for _, h := range hists {
+		out.Histograms = append(out.Histograms, *h)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/obs"
+	"github.com/sid-wsn/sid/internal/source"
+)
+
+// journaledRun wraps a scenario execution with a JSONL journal and returns
+// the result plus the raw journal bytes.
+func journaledRun(t *testing.T, run func(col *obs.Collector) (*Result, error)) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	j := obs.NewJournal(obs.DefaultJournalCap)
+	j.SetSink(&buf)
+	col := obs.New()
+	col.SetJournal(j)
+	res, err := run(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal sink error: %v", err)
+	}
+	return res, append([]byte(nil), buf.Bytes()...)
+}
+
+// TestRecordReplayEquivalence is the record→replay acceptance gate: record
+// the single-10kn golden scenario, replay the recording through a
+// source.Trace, and require the replay's detections and journal event
+// stream to be bit-identical to the originating simulation — in memory and
+// after a SIDTRACE disk round-trip.
+func TestRecordReplayEquivalence(t *testing.T) {
+	spec := corpusSpec(t, "single-10kn")
+
+	var rec *source.Recording
+	orig, origJournal := journaledRun(t, func(col *obs.Collector) (*Result, error) {
+		res, r, err := Record(spec, col)
+		rec = r
+		return res, err
+	})
+	if len(orig.Sink) == 0 {
+		t.Fatal("recording run produced no sink confirmations; the equivalence test needs a detection")
+	}
+
+	// Recording must not perturb the run: same result as a plain run.
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, plain) {
+		t.Error("result with recording attached differs from plain Run")
+	}
+
+	check := func(t *testing.T, src source.Source) {
+		t.Helper()
+		replay, replayJournal := journaledRun(t, func(col *obs.Collector) (*Result, error) {
+			return Replay(spec, src, col)
+		})
+		if !reflect.DeepEqual(replay.Sink, orig.Sink) {
+			t.Errorf("replay sink confirmations differ:\n got %+v\nwant %+v", replay.Sink, orig.Sink)
+		}
+		if !reflect.DeepEqual(replay.NodeReports, orig.NodeReports) {
+			t.Errorf("replay node reports differ (%d vs %d)", len(replay.NodeReports), len(orig.NodeReports))
+		}
+		if !reflect.DeepEqual(replay, orig) {
+			t.Error("replay Result differs from the originating simulation")
+		}
+		if !bytes.Equal(replayJournal, origJournal) {
+			t.Errorf("replay journal is not bit-identical (%d vs %d bytes)",
+				len(replayJournal), len(origJournal))
+		}
+	}
+
+	t.Run("in-memory", func(t *testing.T) {
+		src, err := rec.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, src)
+	})
+
+	t.Run("disk-round-trip", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := rec.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+		src, err := source.OpenTraceDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		if src.Seed() != spec.Seed {
+			t.Errorf("trace seed %d, want %d", src.Seed(), spec.Seed)
+		}
+		check(t, src)
+	})
+}
+
+// TestReplayDifferentWorkers pins that replay, like synthesis, is
+// bit-identical for any Workers value.
+func TestReplayDifferentWorkers(t *testing.T) {
+	spec := corpusSpec(t, "single-10kn")
+	_, rec, err := Record(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base *Result
+	for _, workers := range []int{1, 3} {
+		spec.Workers = workers
+		src, err := rec.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(spec, src, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Errorf("workers=%d: replay result differs from workers=1", workers)
+		}
+	}
+}

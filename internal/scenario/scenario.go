@@ -20,6 +20,7 @@ import (
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/source"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
@@ -167,11 +168,47 @@ func Run(spec Spec) (*Result, error) {
 // trial's outcome — the journal is written from the scheduler's serial
 // phases only, so it is also byte-identical across Workers values.
 func RunWithCollector(spec Spec, col *obs.Collector) (*Result, error) {
+	return runWith(spec, col, nil, nil)
+}
+
+// Record runs the trial while teeing every node's sample stream into a
+// SIDTRACE recording. The run itself is unperturbed — the returned Result
+// is bit-identical to RunWithCollector at the same spec — and the
+// recording replays through Replay (in memory via Recording.Source, or
+// after a Save/OpenTraceDir disk round-trip).
+func Record(spec Spec, col *obs.Collector) (*Result, *source.Recording, error) {
+	rec := &source.Recording{}
+	res, err := runWith(spec, col, nil, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rec.Err(); err != nil {
+		return nil, nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+	return res, rec, nil
+}
+
+// Replay runs the trial's detection stack against a replay source instead
+// of the synthetic field: same spec (protocol parameters, radio, seed —
+// which drives the radio/clock streams the replay still needs), but the
+// samples come from src and no wake sources are synthesized. Scoring still
+// uses the spec's analytic ship trajectories as ground truth, so a replay
+// of a recorded run scores identically to the original.
+func Replay(spec Spec, src source.Source, col *obs.Collector) (*Result, error) {
+	return runWith(spec, col, src, nil)
+}
+
+// runWith compiles and executes one trial: src overrides the synthetic
+// field when non-nil (replay), rec tees the sample stream when non-nil
+// (record).
+func runWith(spec Spec, col *obs.Collector, src source.Source, rec *source.Recording) (*Result, error) {
 	cfg, err := spec.compile()
 	if err != nil {
 		return nil, err
 	}
 	cfg.Obs = col
+	cfg.Source = src
+	cfg.RecordTo = rec
 	ships, err := spec.maneuvers()
 	if err != nil {
 		return nil, err
@@ -180,8 +217,12 @@ func RunWithCollector(spec Spec, col *obs.Collector) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)
 	}
-	for _, m := range ships {
-		rt.AddSource(wake.ManeuverField{M: m})
+	if src == nil {
+		// Synthetic run: superpose the vessels' wake fields. A replay's
+		// samples already contain the recorded wakes.
+		for _, m := range ships {
+			rt.AddSource(wake.ManeuverField{M: m})
+		}
 	}
 	if err := rt.Run(spec.Duration); err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", spec.Name, err)

@@ -66,6 +66,11 @@ type Result struct {
 	Failovers      int `json:"failovers"`
 	// NodeReports is the per-node detection stream in event order.
 	NodeReports []TraceReport `json:"node_reports"`
+	// Sink is the raw confirmation stream as received at the sink, in
+	// arrival order — the unscored evidence behind Ships. Excluded from
+	// the golden JSON (the scored fields above pin it with tolerance);
+	// exposed for exact record→replay equivalence checks.
+	Sink []sid.SinkReport `json:"-"`
 }
 
 // truth computes a vessel's ground truth over the grid: the wake-sweep
@@ -128,6 +133,7 @@ func score(spec Spec, cfg sid.Config, rt *sid.Runtime, ships []*wake.Maneuver) *
 		ClustersFormed: rt.ClustersFormed(),
 		Cancelled:      rt.Cancelled(),
 		Failovers:      rt.Failovers(),
+		Sink:           append([]sid.SinkReport(nil), rt.SinkReports()...),
 	}
 	for i, m := range ships {
 		sr := truth(spec, cfg, m)

@@ -19,7 +19,7 @@ func TestConsumeBlockNoOpCollectorZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	ns := rt.nodes[0]
-	blk := ns.sens.SampleBlock(rt.model, 0, 50, &ns.bufs)
+	blk := rt.src.Block(0, 0, 0, 50)
 	// Warm up: detector batch buffers and window rings reach steady-state
 	// capacity during the first windows.
 	for i := 0; i < 50; i++ {

@@ -1,6 +1,6 @@
 // Package sid wires the SID pieces into the distributed system of the
 // paper's Algorithm SID: every node runs the adaptive node-level detector
-// (internal/detect) on its own simulated buoy; a node whose anomaly
+// (internal/detect) on its own sample stream; a node whose anomaly
 // frequency passes the threshold either sets up a temporary cluster
 // (flooding an invite within six hops and becoming the head) or reports to
 // the head it already belongs to; the head collects reports for a window,
@@ -10,9 +10,14 @@
 // detection — with a ship speed/heading estimate when the four-node
 // condition is met (internal/speed) — to the sink over the routing tree.
 //
-// The runtime owns the whole simulated deployment: ocean field, ships,
-// buoys, sensors, clocks, radios, batteries, and the discrete-event
-// scheduler.
+// The runtime owns the protocol side of a deployment: clocks, radios,
+// batteries, detectors, and the discrete-event scheduler. Sample
+// *production* lives behind internal/source: by default the runtime builds
+// the simulated field (ocean + ships + buoys + sensors), but any
+// source.Source — notably a SIDTRACE replay — can drive the same pipeline.
+// The package is split along those lines: this file holds configuration and
+// runtime construction, pipeline.go the streaming ingest/detect loop,
+// protocol.go the cluster protocol, and failover.go head failover.
 package sid
 
 import (
@@ -24,57 +29,19 @@ import (
 	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/obs"
-	"github.com/sid-wsn/sid/internal/ocean"
-	"github.com/sid-wsn/sid/internal/parallel"
 	"github.com/sid-wsn/sid/internal/sensor"
 	"github.com/sid-wsn/sid/internal/sim"
-	"github.com/sid-wsn/sid/internal/speed"
+	"github.com/sid-wsn/sid/internal/source"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
-
-// Message kinds used by the SID protocol.
-const (
-	KindInvite     = "sid.invite"
-	KindReport     = "sid.report"
-	KindSinkReport = "sid.sink"
-)
-
-// ReportPayload is a member's detection report to its temporary cluster
-// head (the paper: "it reports EΔ and the onset time").
-type ReportPayload struct {
-	Node   wsn.NodeID
-	Row    int
-	Pos    geo.Vec2
-	Onset  float64 // node-local clock time of onset
-	Energy float64
-}
-
-// SinkReport is what the sink finally receives for one confirmed intrusion.
-type SinkReport struct {
-	// Head is the temporary cluster head that confirmed the intrusion.
-	Head wsn.NodeID
-	// Time is the sink-local time of the report's arrival.
-	Time float64
-	// C is the correlation coefficient of the confirming evaluation.
-	C float64
-	// Reports is the number of member reports used.
-	Reports int
-	// MeanOnset is the average onset across reports (head-local time).
-	MeanOnset float64
-	// HasSpeed reports whether the four-node speed condition was met.
-	HasSpeed bool
-	// Speed is the estimated intruder speed in m/s (if HasSpeed).
-	Speed float64
-	// Heading is the estimated sailing-line angle in radians (if HasSpeed).
-	Heading float64
-}
 
 // Config assembles a full SID deployment.
 type Config struct {
 	// Grid is the manual buoy deployment (§III-A).
 	Grid geo.GridSpec
-	// Hs, Tp parametrize the ambient sea (Pierson–Moskowitz).
+	// Hs, Tp parametrize the ambient sea (Pierson–Moskowitz). Only used
+	// when Source is nil (the runtime builds the synthetic field itself).
 	Hs, Tp float64
 	// Detect configures every node's detector.
 	Detect detect.Config
@@ -103,6 +70,7 @@ type Config struct {
 	// SinkID designates the sink node (default 0).
 	SinkID wsn.NodeID
 	// DriftRadius is the buoy mooring drift in meters (2 in the paper).
+	// Only used when Source is nil.
 	DriftRadius float64
 	// BatteryJ equips each non-sink node with a battery when positive.
 	BatteryJ float64
@@ -122,14 +90,24 @@ type Config struct {
 	// be activated and increase the sampling rate"). 0 or 1 disables
 	// duty cycling (all nodes always on).
 	DutyCycle float64
-	// Workers bounds the goroutines used to synthesize per-node sample
+	// Workers bounds the goroutines used to produce per-node sample
 	// blocks inside each sensing batch: 0 uses all cores (GOMAXPROCS),
-	// 1 forces serial synthesis. Every node's samples depend only on its
-	// own random streams, so runs are bit-identical for any Workers
-	// value — the knob trades wall-clock time only.
+	// 1 forces serial production. Every node's samples depend only on its
+	// own streams, so runs are bit-identical for any Workers value — the
+	// knob trades wall-clock time only.
 	Workers int
 	// Seed drives every random stream in the deployment.
 	Seed int64
+	// Source supplies every node's sample stream. Nil builds the synthetic
+	// simulated field from Hs/Tp/DriftRadius/Seed — the classic deployment.
+	// A non-nil source (e.g. a SIDTRACE replay) must serve exactly
+	// Grid.NumNodes() node streams; Hs/Tp/DriftRadius are then unused.
+	Source source.Source
+	// RecordTo, when non-nil, tees every consumed sample block into the
+	// recording (per node, in the batch loop's serial phase, so recording
+	// never perturbs the run). Save the recording as SIDTRACE files or
+	// replay it directly via Recording.Source.
+	RecordTo *source.Recording
 	// Obs is the observability collector the deployment reports into
 	// (metrics registry, optional journal, optional profiler). Nil gets a
 	// private registry-only collector, so counters always work. Journal
@@ -159,12 +137,24 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
+// Validate checks the configuration. It is the single source of truth for
+// deployment validation: the root facade delegates here rather than
+// duplicating the rules.
+func (c Config) Validate() error {
 	if err := c.Grid.Validate(); err != nil {
 		return err
 	}
-	if c.Hs <= 0 || c.Tp <= 0 {
-		return fmt.Errorf("sid: Hs and Tp must be positive, got %g, %g", c.Hs, c.Tp)
+	if c.Source == nil {
+		// Sea-state parameters only matter when the runtime synthesizes
+		// the field itself; a replay carries its own physics.
+		if c.Hs <= 0 || c.Tp <= 0 {
+			return fmt.Errorf("sid: Hs and Tp must be positive, got %g, %g", c.Hs, c.Tp)
+		}
+		if c.DriftRadius < 0 {
+			return fmt.Errorf("sid: DriftRadius must be non-negative, got %g", c.DriftRadius)
+		}
+	} else if n := c.Source.NumNodes(); n != c.Grid.NumNodes() {
+		return fmt.Errorf("sid: source serves %d node streams, grid has %d nodes", n, c.Grid.NumNodes())
 	}
 	if c.ClusterHops <= 0 {
 		return fmt.Errorf("sid: ClusterHops must be positive, got %d", c.ClusterHops)
@@ -177,9 +167,6 @@ func (c Config) validate() error {
 	}
 	if int(c.SinkID) < 0 || int(c.SinkID) >= c.Grid.NumNodes() {
 		return fmt.Errorf("sid: SinkID %d outside grid", c.SinkID)
-	}
-	if c.DriftRadius < 0 {
-		return fmt.Errorf("sid: DriftRadius must be non-negative, got %g", c.DriftRadius)
 	}
 	if c.SampleBatch <= 0 {
 		return fmt.Errorf("sid: SampleBatch must be positive, got %g", c.SampleBatch)
@@ -198,11 +185,10 @@ func (c Config) validate() error {
 
 // nodeState is the per-node SID protocol state (Algorithm SID's variables).
 type nodeState struct {
-	id   wsn.NodeID
-	row  int
-	pos  geo.Vec2
-	sens *sensor.Sensor
-	det  *detect.Detector
+	id  wsn.NodeID
+	row int
+	pos geo.Vec2
+	det *detect.Detector
 
 	inTempCluster bool
 	headID        wsn.NodeID
@@ -235,11 +221,9 @@ type nodeState struct {
 	// the destination at send time).
 	sendErrs int
 
-	// Batched-synthesis scratch: bufs is reused across batches, block is
-	// the node's freshly synthesized samples for the current batch. Both
-	// are touched by exactly one goroutine per batch (the one that claims
-	// this node in the parallel fan-out), then read serially.
-	bufs  sensor.BlockBuffers
+	// block is the node's sample block for the current batch, produced by
+	// the source in the parallel fan-out and consumed serially. Touched by
+	// exactly one goroutine per batch.
 	block []sensor.Sample
 }
 
@@ -249,8 +233,8 @@ type Runtime struct {
 	sched *sim.Scheduler
 	net   *wsn.Network
 	tree  *wsn.Tree
-	field *ocean.Field
-	model sensor.Composite
+	src   source.Source
+	rec   *source.Recording
 	nodes []*nodeState
 
 	sinkReports []SinkReport
@@ -355,22 +339,32 @@ func (r *Runtime) NodeSendErrors() []int {
 	return out
 }
 
-// NewRuntime builds the deployment: ocean, buoys, sensors, detectors,
-// network, routing tree, and time synchronization.
+// NewRuntime builds the deployment: sample source (the simulated field
+// unless Config.Source overrides it), detectors, network, routing tree,
+// and time synchronization.
 func NewRuntime(cfg Config) (*Runtime, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	sched := sim.NewScheduler(cfg.Seed)
-	spec, err := ocean.NewPiersonMoskowitz(cfg.Hs, cfg.Tp)
-	if err != nil {
-		return nil, err
-	}
-	field, err := ocean.NewField(ocean.FieldConfig{Spectrum: spec, Seed: cfg.Seed ^ 0x0cea})
-	if err != nil {
-		return nil, err
-	}
 	positions := cfg.Grid.Positions()
+	src := cfg.Source
+	if src == nil {
+		// The synthetic field derives its buoy seeds from the same
+		// (seed, "sid.nodes") stream the scheduler would hand out, so a
+		// defaulted Source is bit-identical to the pre-source runtime.
+		s, err := source.NewSynthetic(source.SyntheticConfig{
+			Positions:   positions,
+			Hs:          cfg.Hs,
+			Tp:          cfg.Tp,
+			DriftRadius: cfg.DriftRadius,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		src = s
+	}
 	net, err := wsn.NewNetwork(sched, positions, cfg.Radio)
 	if err != nil {
 		return nil, err
@@ -384,29 +378,19 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		cfg:   cfg,
 		sched: sched,
 		net:   net,
-		field: field,
-		model: sensor.Composite{field},
+		src:   src,
+		rec:   cfg.RecordTo,
 		col:   col,
 	}
 	r.bindCounters()
-	seedRNG := sched.RNG("sid.nodes")
 	for i, pos := range positions {
 		id := wsn.NodeID(i)
 		row, _ := cfg.Grid.RowCol(i)
-		buoy := sensor.NewBuoy(sensor.BuoyConfig{
-			Anchor:      pos,
-			DriftRadius: cfg.DriftRadius,
-			Seed:        seedRNG.Int63(),
-		})
-		sens, err := sensor.NewSensor(buoy, sensor.DefaultAccelConfig())
-		if err != nil {
-			return nil, err
-		}
 		det, err := detect.New(cfg.Detect)
 		if err != nil {
 			return nil, err
 		}
-		ns := &nodeState{id: id, row: row, pos: pos, sens: sens, det: det, headID: -1, sentinel: true}
+		ns := &nodeState{id: id, row: row, pos: pos, det: det, headID: -1, sentinel: true}
 		if cfg.DutyCycle > 0 && cfg.DutyCycle < 1 {
 			// Deterministic hash spreads the sentinel set over the grid.
 			h := (uint64(i)*2654435761 + uint64(cfg.Seed)) % 1000
@@ -422,6 +406,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			node.Battery = b
 		}
 		node.OnMessage = r.onMessage
+	}
+	if r.rec != nil {
+		r.rec.Init(src.Rate(), src.Scale(), positions, cfg.Seed)
 	}
 	tree, err := net.BuildTree(cfg.SinkID)
 	if err != nil {
@@ -441,18 +428,28 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	return r, nil
 }
 
-// AddShip introduces an intruder into the surface model.
+// AddShip introduces an intruder into the surface model. Panics when the
+// sample source is not appendable (see AddSource).
 func (r *Runtime) AddShip(s *wake.Ship) {
-	r.model = append(r.model, wake.Field{Ship: s})
+	r.AddSource(wake.Field{Ship: s})
 }
 
 // AddSource introduces an arbitrary surface-motion source (e.g. a
 // wake.ManeuverField for a waypoint-following vessel). Sources superpose
-// linearly through the sensor.Composite model, which is how the scenario
-// engine builds multi-ship trials.
+// linearly through the synthetic field, which is how the scenario engine
+// builds multi-ship trials. It panics when the sample source does not
+// implement source.Appender — a trace replay is an immutable recording;
+// its ships are whatever was recorded.
 func (r *Runtime) AddSource(m sensor.SurfaceModel) {
-	r.model = append(r.model, m)
+	ap, ok := r.src.(source.Appender)
+	if !ok {
+		panic(fmt.Sprintf("sid: sample source %T cannot accept surface sources (replays are immutable recordings)", r.src))
+	}
+	ap.AddSource(m)
 }
+
+// Source exposes the deployment's sample source.
+func (r *Runtime) Source() source.Source { return r.src }
 
 // Network exposes the underlying WSN (for fault injection in tests).
 func (r *Runtime) Network() *wsn.Network { return r.net }
@@ -496,428 +493,6 @@ type Evaluation struct {
 
 // Evaluations returns every cluster-head evaluation so far, in order.
 func (r *Runtime) Evaluations() []Evaluation { return r.evaluations }
-
-// Run drives the deployment for dur seconds of simulated time: sampling,
-// detection, clustering, correlation, and sink reporting all happen inside.
-//
-// Each sensing batch is a single scheduler event processed in three
-// phases: gate (serial — decide which nodes sense, charge idle energy),
-// synthesize (parallel — each sensing node's sample block fans out across
-// Config.Workers goroutines), and consume (serial, ascending node order —
-// detector pushes and protocol reactions). Message deliveries are
-// scheduler events of their own, so no protocol state changes while a
-// batch event runs; the pipeline is therefore observably identical to the
-// fully serial implementation, and runs are bit-identical for any worker
-// count.
-func (r *Runtime) Run(dur float64) error {
-	start := r.sched.Now()
-	end := start + dur
-	sampleRate := r.nodes[0].sens.Accel.SampleRate
-	perBatch := int(r.cfg.SampleBatch * sampleRate)
-	if perBatch < 1 {
-		perBatch = 1
-	}
-	active := make([]*nodeState, 0, len(r.nodes))
-	var batchAt func(t float64, sampleIdx int)
-	batchAt = func(t float64, sampleIdx int) {
-		active = active[:0]
-		for _, ns := range r.nodes {
-			if r.senseGate(ns, sampleIdx, perBatch, sampleRate) {
-				active = append(active, ns)
-			}
-		}
-		stop := r.col.Profiler().Start("synthesis")
-		parallel.ForEach(len(active), r.cfg.Workers, func(i int) {
-			ns := active[i]
-			ns.block = ns.sens.SampleBlock(r.model, t, perBatch, &ns.bufs)
-		})
-		stop()
-		stop = r.col.Profiler().Start("detect")
-		for _, ns := range active {
-			r.consumeBlock(ns)
-		}
-		stop()
-		next := t + float64(perBatch)/sampleRate
-		if next < end {
-			_ = r.sched.Schedule(next, func() { batchAt(next, sampleIdx+perBatch) })
-		}
-	}
-	if err := r.sched.Schedule(start, func() { batchAt(start, 0) }); err != nil {
-		return err
-	}
-	r.sched.Run(end)
-	return nil
-}
-
-// senseGate decides whether a node senses the current batch, charging idle
-// energy either way. It runs in the serial pre-pass of a batch event, so
-// ordering matches the historical one-node-at-a-time implementation.
-func (r *Runtime) senseGate(ns *nodeState, sampleIdx, perBatch int, rate float64) bool {
-	node := r.net.MustNode(ns.id)
-	if !node.Alive() {
-		return false
-	}
-	if node.Battery != nil {
-		node.Battery.AccrueIdle(float64(perBatch) / rate)
-	}
-	// Duty cycling: non-sentinel nodes run coarse mode (every fourth
-	// batch) unless woken by an invite or active in a cluster.
-	now := r.sched.Now()
-	woken := now < ns.awakeTil || (ns.inTempCluster && now < ns.membership)
-	if !ns.sentinel && !woken && (sampleIdx/perBatch)%4 != 0 {
-		return false
-	}
-	return true
-}
-
-// consumeBlock feeds one node's freshly synthesized sample block into its
-// detector and reacts to completed anomaly windows. Serial phase: network
-// sends and battery accounting happen here, in node order.
-func (r *Runtime) consumeBlock(ns *nodeState) {
-	node := r.net.MustNode(ns.id)
-	for _, smp := range ns.block {
-		if node.Battery != nil {
-			node.Battery.Consume(wsn.CostSample)
-		}
-		ws, done := ns.det.Push(smp.T, float64(smp.Z))
-		if !done {
-			continue
-		}
-		if node.Battery != nil {
-			node.Battery.Consume(wsn.CostCPU)
-		}
-		// Journal windows with at least one crossing (quiet windows would
-		// drown the ring, and their Onset is NaN — not JSON). The guard
-		// keeps the no-op path allocation-free: the payload is only boxed
-		// when a journal is attached.
-		if ws.Crossings > 0 && r.col.Journaling() {
-			r.col.Emit(r.sched.Now(), obs.KindNodeWindow, obs.NodeWindow{
-				Node: int(ns.id), Start: ws.Start, End: ws.End,
-				AF: ws.AnomalyFreq, Crossings: ws.Crossings,
-				Energy: ws.Energy, Onset: ws.Onset,
-				Threshold: ws.Threshold, Mean: ws.Mean, Std: ws.Std,
-			})
-		}
-		if ns.det.Detected(ws) {
-			r.onNodeDetection(ns, node, ns.det.ReportOf(ws))
-		}
-	}
-	ns.block = nil
-}
-
-// onNodeDetection implements the DetectIntrusion branch of Algorithm SID.
-func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Report) {
-	now := r.sched.Now()
-	payload := ReportPayload{
-		Node:   ns.id,
-		Row:    ns.row,
-		Pos:    ns.pos,
-		Onset:  node.LocalTime(rep.Onset), // timestamps cross the network in local time
-		Energy: rep.Energy,
-	}
-	ns.lastReport = payload
-	ns.hasReport = true
-	r.nodeReports = append(r.nodeReports, NodeReport{
-		Node: ns.id, Time: now, Onset: payload.Onset, Energy: payload.Energy,
-	})
-	if r.col.Journaling() {
-		r.col.Emit(now, obs.KindNodeReport, obs.NodeReport{
-			Node: int(ns.id), Row: ns.row, Onset: payload.Onset,
-			Energy: payload.Energy, AF: rep.AnomalyFreq,
-		})
-	}
-	if ns.inTempCluster && now < ns.membership {
-		if ns.isHead {
-			r.acceptReport(ns, payload)
-			return
-		}
-		if r.col.Journaling() {
-			r.col.Emit(now, obs.KindReportSend, obs.ReportSend{
-				Node: int(ns.id), Head: int(ns.headID),
-				Onset: payload.Onset, Energy: payload.Energy,
-			})
-		}
-		r.countSend(ns.id, r.net.SendMultiHop(ns.id, ns.headID, KindReport, payload))
-		return
-	}
-	// SetUpTempCluster: become head, invite neighbors within six hops.
-	ns.inTempCluster = true
-	ns.isHead = true
-	ns.headID = ns.id
-	ns.membership = now + r.cfg.CollectWindow
-	ns.deadline = ns.membership
-	ns.reports = ns.reports[:0]
-	ns.extended = false
-	r.ctr.clustersFormed.Inc()
-	if r.col.Journaling() {
-		r.col.Emit(now, obs.KindClusterSetup, obs.ClusterSetup{
-			Head: int(ns.id), Deadline: ns.deadline,
-		})
-	}
-	r.acceptReport(ns, payload)
-	r.countSend(ns.id, r.net.Flood(ns.id, r.cfg.ClusterHops, KindInvite, ns.id))
-	deadline := ns.deadline
-	_ = r.sched.Schedule(deadline, func() { r.headDeadline(ns, deadline) })
-	if r.cfg.Failover.Enabled {
-		r.startHeartbeats(ns, deadline)
-	}
-}
-
-// onMessage dispatches SID protocol messages.
-func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
-	ns := r.nodes[node.ID]
-	switch msg.Kind {
-	case KindInvite:
-		head, ok := msg.Payload.(wsn.NodeID)
-		if !ok {
-			return
-		}
-		// Already in a cluster: keep the first membership (the paper does
-		// not merge clusters; extra invites are ignored).
-		if ns.inTempCluster && r.sched.Now() < ns.membership {
-			return
-		}
-		ns.inTempCluster = true
-		ns.isHead = false
-		ns.headID = head
-		ns.membership = r.sched.Now() + r.cfg.CollectWindow
-		ns.awakeTil = ns.membership // wake a sleeping node for the window
-		if r.col.Journaling() {
-			r.col.Emit(r.sched.Now(), obs.KindClusterJoin, obs.ClusterJoin{
-				Node: int(ns.id), Head: int(head), Until: ns.membership,
-			})
-		}
-		r.observeHead(ns)
-	case KindHeartbeat:
-		head, ok := msg.Payload.(wsn.NodeID)
-		if !ok {
-			return
-		}
-		if ns.inTempCluster && !ns.isHead && head == ns.headID &&
-			r.sched.Now() < ns.membership {
-			r.observeHead(ns)
-		}
-	case KindTakeover:
-		payload, ok := msg.Payload.(TakeoverPayload)
-		if !ok {
-			return
-		}
-		r.onTakeover(ns, payload)
-	case KindReport:
-		payload, ok := msg.Payload.(ReportPayload)
-		if !ok {
-			return
-		}
-		if ns.isHead {
-			r.acceptReport(ns, payload)
-		}
-	case KindSinkReport:
-		payload, ok := msg.Payload.(SinkReport)
-		if !ok {
-			return
-		}
-		if node.ID == r.cfg.SinkID {
-			payload.Time = node.LocalTime(r.sched.Now())
-			r.sinkReports = append(r.sinkReports, payload)
-			if r.col.Journaling() {
-				r.col.Emit(r.sched.Now(), obs.KindSinkReport, obs.SinkReport{
-					Head: int(payload.Head), C: payload.C,
-					Reports: payload.Reports, MeanOnset: payload.MeanOnset,
-					HasSpeed: payload.HasSpeed, Speed: payload.Speed,
-					Heading: payload.Heading,
-				})
-			}
-		}
-	}
-}
-
-// eventGap is the maximum onset separation (seconds) for two reports from
-// the same node to be considered observations of the same disturbance
-// event (a wake train seen by overlapping Δt windows) rather than separate
-// events.
-const eventGap = 15.0
-
-// acceptReport stores a member report at the head, deduplicating per node:
-// a node may cross the threshold in several windows — noise before the
-// wake, or the wake seen by overlapping windows. The highest-energy event
-// survives ("we only record the reports which have the highest detected
-// energy within the test period"), and within that event the earliest
-// onset is kept — the paper's onset is "the time when the signal first
-// exceeds the threshold", which is the wake-front arrival the speed
-// estimator needs.
-func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
-	head.lastReportAt = r.sched.Now()
-	if r.col.Journaling() {
-		first := true
-		for i := range head.reports {
-			if head.reports[i].Node == int(p.Node) {
-				first = false
-				break
-			}
-		}
-		r.col.Emit(r.sched.Now(), obs.KindReportAccept, obs.ReportAccept{
-			Head: int(head.id), Node: int(p.Node),
-			Onset: p.Onset, Energy: p.Energy, First: first,
-		})
-	}
-	for i := range head.reports {
-		if head.reports[i].Node == int(p.Node) {
-			cur := &head.reports[i]
-			sameEvent := math.Abs(p.Onset-cur.Onset) < eventGap
-			switch {
-			case p.Energy > cur.Energy && sameEvent:
-				cur.Energy = p.Energy
-				if p.Onset < cur.Onset {
-					cur.Onset = p.Onset
-				}
-			case p.Energy > cur.Energy:
-				cur.Energy = p.Energy
-				cur.Onset = p.Onset
-			case sameEvent && p.Onset < cur.Onset:
-				cur.Onset = p.Onset
-			}
-			return
-		}
-	}
-	head.reports = append(head.reports, cluster.Report{
-		Node:   int(p.Node),
-		Pos:    p.Pos,
-		Row:    p.Row,
-		Onset:  p.Onset,
-		Energy: p.Energy,
-	})
-}
-
-// headDeadline runs SpaceTimeDataProcessing when the collection window
-// closes.
-func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
-	if !ns.isHead || ns.deadline != deadline {
-		return
-	}
-	if !r.net.MustNode(ns.id).Alive() {
-		// The head died holding the role (no failover, or no member left
-		// to take over): the collection is lost, not evaluated.
-		ns.isHead = false
-		ns.inTempCluster = false
-		ns.headID = -1
-		reports := ns.reports
-		ns.reports = nil
-		r.ctr.cancelled.Inc()
-		if r.col.Journaling() {
-			r.col.Emit(r.sched.Now(), obs.KindClusterCancel, obs.ClusterCancel{
-				Head: int(ns.id), Reports: len(reports), Reason: "head-dead",
-			})
-		}
-		r.evaluations = append(r.evaluations, Evaluation{
-			Head: ns.id, Reports: reports,
-			Err: fmt.Errorf("sid: head %d dead at collection deadline", ns.id),
-		})
-		return
-	}
-	// One-time extension when reports are still trickling in — typically
-	// because retransmissions or a failover delayed the tail.
-	fo := r.cfg.Failover
-	if fo.Enabled && fo.ExtendWindow > 0 && !ns.extended &&
-		len(ns.reports) > 0 && deadline-ns.lastReportAt <= fo.ExtendWindow {
-		ns.extended = true
-		next := deadline + fo.ExtendWindow
-		ns.deadline = next
-		ns.membership = next
-		r.ctr.deadlineExt.Inc()
-		if r.col.Journaling() {
-			r.col.Emit(r.sched.Now(), obs.KindClusterExtend, obs.ClusterExtend{
-				Head: int(ns.id), Deadline: next,
-			})
-		}
-		_ = r.sched.Schedule(next, func() { r.headDeadline(ns, next) })
-		if fo.HeartbeatPeriod > 0 {
-			r.startHeartbeats(ns, next)
-		}
-		return
-	}
-	ns.isHead = false
-	ns.inTempCluster = false
-	ns.headID = -1
-	reports := ns.reports
-	ns.reports = nil
-	if len(reports) < r.cfg.MinReports {
-		r.ctr.cancelled.Inc()
-		if r.col.Journaling() {
-			r.col.Emit(r.sched.Now(), obs.KindClusterCancel, obs.ClusterCancel{
-				Head: int(ns.id), Reports: len(reports), Reason: "min-reports",
-			})
-		}
-		r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports})
-		return
-	}
-	stop := r.col.Profiler().Start("cluster")
-	res, err := cluster.Evaluate(reports, r.cfg.Cluster)
-	stop()
-	r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports, Result: res, Err: err})
-	if err == nil {
-		r.cHist.Observe(res.C)
-	}
-	if r.col.Journaling() {
-		ev := obs.ClusterEval{
-			Head: int(ns.id), Reports: len(reports),
-			C: res.C, CNt: res.CNt, CNe: res.CNe,
-			Sweep: res.Sweep, OrderTau: res.OrderTau,
-			RowsUsed: res.RowsUsed, RowsTotal: res.RowsTotal,
-			Detected: res.Detected,
-		}
-		if err != nil {
-			ev.Err = err.Error()
-		}
-		r.col.Emit(r.sched.Now(), obs.KindClusterEval, ev)
-	}
-	if err != nil || !res.Detected {
-		r.ctr.cancelled.Inc()
-		return
-	}
-	sink := SinkReport{
-		Head:      ns.id,
-		C:         res.C,
-		Reports:   len(reports),
-		MeanOnset: cluster.MeanOnset(reports),
-	}
-	// Ship speed condition: four suitable detections around the travel
-	// line (§IV-C2).
-	dets := make([]speed.Detection, len(reports))
-	for i, rep := range reports {
-		dets[i] = speed.Detection{Pos: rep.Pos, Time: rep.Onset, Energy: rep.Energy}
-	}
-	stop = r.col.Profiler().Start("speed")
-	est, fits, estErr := speed.EstimateFromDetectionsTrace(dets, res.TravelLine, r.cfg.Grid.Spacing)
-	stop()
-	if r.col.Journaling() {
-		for _, fit := range fits {
-			r.col.Emit(r.sched.Now(), obs.KindSpeedFit, obs.SpeedFit{
-				Head: int(ns.id), AlphaRad: fit.Alpha,
-				Slope: fit.Slope, SSE: fit.SSE,
-				OK: fit.OK, Chosen: fit.Chosen,
-			})
-		}
-	}
-	if estErr == nil {
-		sink.HasSpeed = true
-		sink.Speed = est.Speed
-		sink.Heading = est.Alpha
-	}
-	tree := r.tree
-	if r.cfg.Failover.Enabled {
-		// Route repair: the BFS tree was built at deployment time; nodes
-		// that died since would silently eat the confirmation. Rebuilding
-		// over the alive topology models a self-healing collection tree
-		// (CTP-style); it is part of the resilience layer, so plain runs
-		// keep the paper's static tree.
-		if repaired, err := r.net.BuildTree(r.cfg.SinkID); err == nil {
-			r.tree = repaired
-			tree = repaired
-			r.gaugeTreeDepth()
-		}
-	}
-	r.countSend(ns.id, r.net.SendToRoot(tree, ns.id, KindSinkReport, sink))
-}
 
 // EnergyReport summarizes battery state across the deployment.
 type EnergyReport struct {

@@ -9,30 +9,7 @@ import (
 	"github.com/sid-wsn/sid/internal/wsn"
 )
 
-func TestConfigValidation(t *testing.T) {
-	mk := func(mut func(*Config)) Config {
-		c := DefaultConfig()
-		mut(&c)
-		return c
-	}
-	bad := []Config{
-		mk(func(c *Config) { c.Grid.Rows = 0 }),
-		mk(func(c *Config) { c.Hs = 0 }),
-		mk(func(c *Config) { c.Tp = -1 }),
-		mk(func(c *Config) { c.ClusterHops = 0 }),
-		mk(func(c *Config) { c.CollectWindow = 0 }),
-		mk(func(c *Config) { c.MinReports = 0 }),
-		mk(func(c *Config) { c.SinkID = 99 }),
-		mk(func(c *Config) { c.SinkID = -1 }),
-		mk(func(c *Config) { c.DriftRadius = -1 }),
-		mk(func(c *Config) { c.SampleBatch = 0 }),
-	}
-	for i, c := range bad {
-		if _, err := NewRuntime(c); err == nil {
-			t.Errorf("case %d: expected validation error", i)
-		}
-	}
-}
+// Config rejection paths are covered once, table-driven, in config_test.go.
 
 // crossGridShip returns a ship crossing the grid perpendicular to its rows
 // (heading +Y), passing between grid columns, with the wake front reaching

@@ -133,8 +133,14 @@ func (s *Scheduler) Stopped() bool { return s.stopped }
 // RNG returns a deterministic random stream derived from the scheduler
 // seed and the stream name. The same (seed, name) always yields the same
 // sequence, and distinct names yield decoupled sequences.
-func (s *Scheduler) RNG(name string) *rand.Rand {
+func (s *Scheduler) RNG(name string) *rand.Rand { return RNG(s.seed, name) }
+
+// RNG is the stream derivation behind Scheduler.RNG, exposed so components
+// constructed away from a scheduler (e.g. a sample source built standalone)
+// can reproduce exactly the stream a scheduler-owned construction would
+// have drawn from the same (seed, name).
+func RNG(seed int64, name string) *rand.Rand {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
-	return rand.New(rand.NewSource(s.seed ^ int64(h.Sum64())))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
 }

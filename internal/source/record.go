@@ -1,0 +1,113 @@
+package source
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/trace"
+)
+
+// Recording tees the sample stream flowing through a pipeline into per-node
+// SIDTRACE recordings. Attach one via the runtime's RecordTo config; the
+// pipeline calls Init once and then Append for every consumed block, in the
+// serial phase of each batch, so recording never perturbs the run.
+//
+// Replay by index requires contiguous streams: a node that skips batches
+// (duty-cycled coarse mode) produces a gap, which Append detects and
+// reports from Err, Save and Source.
+type Recording struct {
+	rate  float64
+	scale float64
+	pos   []geo.Vec2
+	seed  int64
+	start []float64 // first recorded sample time per node
+	next  []int     // next expected global sample index per node
+	data  [][]sensor.Sample
+	began []bool
+	err   error
+}
+
+// Init is called by the pipeline before the first batch. It resets the
+// recording to the deployment's geometry and stream parameters.
+func (r *Recording) Init(rate, scale float64, positions []geo.Vec2, seed int64) {
+	r.rate, r.scale, r.seed = rate, scale, seed
+	r.pos = append([]geo.Vec2(nil), positions...)
+	n := len(positions)
+	r.start = make([]float64, n)
+	r.next = make([]int, n)
+	r.data = make([][]sensor.Sample, n)
+	r.began = make([]bool, n)
+	r.err = nil
+}
+
+// Append records one consumed block for node, whose first sample has global
+// index idx. Blocks must be contiguous per node; a gap marks the recording
+// broken (see Err).
+func (r *Recording) Append(node, idx int, block []sensor.Sample) {
+	if len(block) == 0 {
+		return
+	}
+	if !r.began[node] {
+		r.began[node] = true
+		r.start[node] = block[0].T
+		r.next[node] = idx
+	}
+	if idx != r.next[node] && r.err == nil {
+		r.err = fmt.Errorf("source: node %d stream has a gap at sample %d (expected %d) — "+
+			"duty-cycled nodes that skip batches cannot be recorded for replay", node, idx, r.next[node])
+	}
+	r.next[node] = idx + len(block)
+	r.data[node] = append(r.data[node], block...)
+}
+
+// Err reports whether the recorded streams are replayable (nil) or broken
+// by a gap.
+func (r *Recording) Err() error { return r.err }
+
+// Source returns an in-memory replay source over the recorded streams.
+func (r *Recording) Source() (*Trace, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	t, err := TraceFromSamples(r.rate, r.scale, r.data)
+	if err != nil {
+		return nil, err
+	}
+	t.pos = append([]geo.Vec2(nil), r.pos...)
+	t.seed = r.seed
+	return t, nil
+}
+
+// Save writes one SIDTRACE file per node (node_000.sidtrc, …) into dir,
+// creating it if needed. The result round-trips through OpenTraceDir.
+func (r *Recording) Save(dir string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for node, samples := range r.data {
+		h := trace.Header{
+			SampleRate: r.rate,
+			CountsPerG: r.scale,
+			Pos:        r.pos[node],
+			StartTime:  r.start[node],
+			Seed:       r.seed,
+		}
+		f, err := os.Create(TraceFile(dir, node))
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, h, samples); err != nil {
+			f.Close()
+			return fmt.Errorf("source: node %d: %w", node, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

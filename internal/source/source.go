@@ -1,0 +1,169 @@
+// Package source abstracts where the detection pipeline's samples come
+// from. The SID stack (node detector → temporary cluster → correlation →
+// speed estimate) is one algorithm whatever produces the accelerometer
+// readings; this package separates sample *production* from the protocol so
+// the same `internal/sid` pipeline runs against
+//
+//   - Synthetic: the simulated deployment (ocean field + ship wakes +
+//     buoy/sensor models), synthesized per node in batched blocks, exactly
+//     as the pre-refactor Runtime did, and
+//   - Trace: replayed SIDTRACE recordings — the stand-in for the paper's
+//     sea-trial data — streamed per node with bounded memory.
+//
+// The contract mirrors the pipeline's batch loop: the runtime asks each
+// node for the block of samples covering one sensing batch, identified both
+// by the batch start time t0 and by the global sample index of the batch's
+// first sample. Sources must compute sample times from (t0, position in
+// block) the same way `sensor.SampleBlock` does, so a replayed stream is
+// bit-identical in time to the synthesis that recorded it — onset times are
+// sample times, and the record→replay equivalence guarantee rests on this.
+package source
+
+import (
+	"fmt"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/ocean"
+	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/sim"
+)
+
+// Source produces per-node sample blocks on demand for the detection
+// pipeline. One Source serves one deployment.
+//
+// Block returns node's samples for the sensing batch whose first sample has
+// global index idx and time t0, n samples long at Rate(). The returned
+// slice may be shorter than n (stream exhausted mid-batch) or nil (nothing
+// for this node in this batch — e.g. a finite trace that ended); it is
+// valid only until the node's next Block call. Batches are requested in
+// strictly increasing idx order per node; a source never rewinds.
+//
+// Implementations must be safe for concurrent Block calls on *distinct*
+// nodes (the pipeline fans per-node synthesis across workers); per-node
+// calls are sequential.
+type Source interface {
+	// Rate is the sample rate in Hz.
+	Rate() float64
+	// Scale is the ADC sensitivity in counts per g — recorded into trace
+	// headers and needed to interpret the int16 counts.
+	Scale() float64
+	// NumNodes is how many node streams the source serves.
+	NumNodes() int
+	// Block returns node's samples for the batch (idx, t0, n). See the
+	// interface comment for the aliasing and concurrency contract.
+	Block(node, idx int, t0 float64, n int) []sensor.Sample
+}
+
+// Appender is the optional extension a Source implements when surface
+// models can be added to it after construction (the synthetic field's
+// AddShip/AddSource path). Trace replays are immutable recordings and do
+// not implement it.
+type Appender interface {
+	AddSource(m sensor.SurfaceModel)
+}
+
+// SyntheticConfig assembles a simulated sample source.
+type SyntheticConfig struct {
+	// Positions are the node deployment positions (grid anchors).
+	Positions []geo.Vec2
+	// Hs, Tp parametrize the ambient Pierson–Moskowitz sea.
+	Hs, Tp float64
+	// DriftRadius is the buoy mooring drift bound in meters.
+	DriftRadius float64
+	// Accel describes the accelerometer; the zero value selects
+	// sensor.DefaultAccelConfig (the paper's LIS3L02DQ).
+	Accel sensor.AccelConfig
+	// Seed drives the ocean phases, buoy drift and sensor noise. The
+	// derivations (the "sid.nodes" buoy-seed stream, the ocean's
+	// seed^0x0cea) are pinned: they must match what the pre-refactor
+	// runtime drew so existing seeded runs stay bit-identical.
+	Seed int64
+}
+
+// synthNode is one node's synthesis state: its sensor (buoy + noise
+// stream) and the reusable block scratch. Each is touched by exactly one
+// goroutine per batch.
+type synthNode struct {
+	sens *sensor.Sensor
+	bufs sensor.BlockBuffers
+}
+
+// Synthetic synthesizes every node's samples from a composite surface
+// model: the ambient ocean field plus any number of ship wakes. It is the
+// extracted sample-production half of the old monolithic sid.Runtime.
+type Synthetic struct {
+	rate  float64
+	scale float64
+	model sensor.Composite
+	nodes []synthNode
+}
+
+// NewSynthetic builds the ocean field and one sensor per node.
+func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
+	if len(cfg.Positions) == 0 {
+		return nil, fmt.Errorf("source: no node positions")
+	}
+	if cfg.Hs <= 0 || cfg.Tp <= 0 {
+		return nil, fmt.Errorf("source: Hs and Tp must be positive, got %g, %g", cfg.Hs, cfg.Tp)
+	}
+	accel := cfg.Accel
+	if accel == (sensor.AccelConfig{}) {
+		accel = sensor.DefaultAccelConfig()
+	}
+	spec, err := ocean.NewPiersonMoskowitz(cfg.Hs, cfg.Tp)
+	if err != nil {
+		return nil, err
+	}
+	field, err := ocean.NewField(ocean.FieldConfig{Spectrum: spec, Seed: cfg.Seed ^ 0x0cea})
+	if err != nil {
+		return nil, err
+	}
+	s := &Synthetic{
+		rate:  accel.SampleRate,
+		scale: accel.CountsPerG,
+		model: sensor.Composite{field},
+		nodes: make([]synthNode, 0, len(cfg.Positions)),
+	}
+	// Buoy seeds come from the "sid.nodes" stream in node order — the same
+	// stream, same draws, as the pre-source runtime construction.
+	seedRNG := sim.RNG(cfg.Seed, "sid.nodes")
+	for _, pos := range cfg.Positions {
+		buoy := sensor.NewBuoy(sensor.BuoyConfig{
+			Anchor:      pos,
+			DriftRadius: cfg.DriftRadius,
+			Seed:        seedRNG.Int63(),
+		})
+		sens, err := sensor.NewSensor(buoy, accel)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, synthNode{sens: sens})
+	}
+	return s, nil
+}
+
+// Rate implements Source.
+func (s *Synthetic) Rate() float64 { return s.rate }
+
+// Scale implements Source.
+func (s *Synthetic) Scale() float64 { return s.scale }
+
+// NumNodes implements Source.
+func (s *Synthetic) NumNodes() int { return len(s.nodes) }
+
+// Block implements Source: the node's sensor synthesizes n samples from
+// the composite model, reusing the node's scratch buffers. idx is unused —
+// synthesis is a pure function of (t0, n) and the node's sequential noise
+// stream.
+func (s *Synthetic) Block(node, idx int, t0 float64, n int) []sensor.Sample {
+	ns := &s.nodes[node]
+	return ns.sens.SampleBlock(s.model, t0, n, &ns.bufs)
+}
+
+// AddSource implements Appender: the model superposes linearly, so ship
+// wakes (or any surface disturbance) stack onto the ambient sea. Call only
+// between pipeline runs — blocks synthesized after the call see the new
+// source.
+func (s *Synthetic) AddSource(m sensor.SurfaceModel) {
+	s.model = append(s.model, m)
+}

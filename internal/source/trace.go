@@ -1,0 +1,194 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/trace"
+)
+
+// decodeChunk is how many samples a trace node decodes from its stream per
+// refill. Together with one batch of look-ahead it bounds a replay's
+// per-node memory at roughly (decodeChunk + batch) samples — a few KiB —
+// independent of the recording length, which is what lets a deployment
+// replay an unbounded stream.
+const decodeChunk = 1024
+
+// traceNode is one node's replay state: a streaming decoder (nil once
+// drained or for a fully in-memory trace) plus the bounded pending window.
+type traceNode struct {
+	dec      *trace.Decoder
+	closer   io.Closer
+	startIdx int             // global sample index of the recording's first sample
+	pending  []sensor.Sample // decoded, not yet served
+	pendIdx  int             // global index of pending[0]
+	out      []sensor.Sample // reused per-call output block
+	eof      bool
+}
+
+// Trace replays SIDTRACE recordings, one per node, through the detection
+// pipeline. Construct with TraceFromSamples (in-memory) or OpenTraceDir
+// (streaming from disk). Sample times are recomputed from the pipeline's
+// batch clock — not the stored times — so a replay is bit-identical in time
+// to the synthesis that recorded it.
+type Trace struct {
+	rate  float64
+	scale float64
+	pos   []geo.Vec2
+	seed  int64
+	nodes []traceNode
+}
+
+// TraceFromSamples builds an in-memory replay source: nodes[i] is node i's
+// recorded stream (may be empty — that node never senses). The global index
+// of each stream's first sample is reconstructed from its first sample time
+// as round(T·rate), so recordings that began mid-run replay in place.
+func TraceFromSamples(rate, scale float64, nodes [][]sensor.Sample) (*Trace, error) {
+	if rate <= 0 || scale <= 0 {
+		return nil, fmt.Errorf("source: trace rate and scale must be positive, got %g, %g", rate, scale)
+	}
+	t := &Trace{rate: rate, scale: scale, pos: make([]geo.Vec2, len(nodes))}
+	for _, samples := range nodes {
+		tn := traceNode{pending: samples, eof: true}
+		if len(samples) > 0 {
+			tn.startIdx = globalIndex(samples[0].T, rate)
+			tn.pendIdx = tn.startIdx
+		}
+		t.nodes = append(t.nodes, tn)
+	}
+	return t, nil
+}
+
+// globalIndex converts a sample time to its global index at the given rate.
+func globalIndex(t, rate float64) int { return int(t*rate + 0.5) }
+
+// TraceFile returns the canonical per-node recording filename inside a
+// trace directory.
+func TraceFile(dir string, node int) string {
+	return filepath.Join(dir, fmt.Sprintf("node_%03d.sidtrc", node))
+}
+
+// OpenTraceDir opens a directory of per-node recordings (node_000.sidtrc,
+// node_001.sidtrc, …) as a streaming replay source. Nodes are read
+// incrementally during replay; call Close when done. All recordings must
+// share one sample rate and ADC scale.
+func OpenTraceDir(dir string) (*Trace, error) {
+	t := &Trace{}
+	for node := 0; ; node++ {
+		f, err := os.Open(TraceFile(dir, node))
+		if errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		dec, err := trace.NewDecoder(f)
+		if err != nil {
+			f.Close()
+			t.Close()
+			return nil, fmt.Errorf("source: node %d: %w", node, err)
+		}
+		h := dec.Header()
+		if node == 0 {
+			t.rate, t.scale, t.seed = h.SampleRate, h.CountsPerG, h.Seed
+		} else if h.SampleRate != t.rate || h.CountsPerG != t.scale {
+			f.Close()
+			t.Close()
+			return nil, fmt.Errorf("source: node %d rate/scale %g/%g differs from node 0's %g/%g",
+				node, h.SampleRate, h.CountsPerG, t.rate, t.scale)
+		}
+		start := globalIndex(h.StartTime, h.SampleRate)
+		t.pos = append(t.pos, h.Pos)
+		t.nodes = append(t.nodes, traceNode{
+			dec: dec, closer: f, startIdx: start, pendIdx: start,
+		})
+	}
+	if len(t.nodes) == 0 {
+		return nil, fmt.Errorf("source: no node traces (node_000.sidtrc …) in %s", dir)
+	}
+	return t, nil
+}
+
+// Close releases any open trace files. Safe on an in-memory trace.
+func (t *Trace) Close() error {
+	var first error
+	for i := range t.nodes {
+		if c := t.nodes[i].closer; c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+			t.nodes[i].closer = nil
+		}
+	}
+	return first
+}
+
+// Rate implements Source.
+func (t *Trace) Rate() float64 { return t.rate }
+
+// Scale implements Source.
+func (t *Trace) Scale() float64 { return t.scale }
+
+// NumNodes implements Source.
+func (t *Trace) NumNodes() int { return len(t.nodes) }
+
+// Seed returns the generating scenario's seed recorded in the trace
+// headers (0 for real or in-memory data).
+func (t *Trace) Seed() int64 { return t.seed }
+
+// Positions returns the recorded buoy positions, indexed by node.
+func (t *Trace) Positions() []geo.Vec2 { return t.pos }
+
+// Block implements Source: serve the recorded samples with global indices
+// in [idx, idx+n), with times recomputed as t0 + i/rate — the exact formula
+// sensor.SampleBlock uses, which is what makes replayed onsets bit-identical
+// to the originating simulation. Consumed samples are dropped, keeping the
+// pending window bounded.
+func (t *Trace) Block(node, idx int, t0 float64, n int) []sensor.Sample {
+	ns := &t.nodes[node]
+	// Refill the pending window until it covers the batch (or the stream
+	// ends). Decoding happens here, on the goroutine that owns this node
+	// for the batch.
+	for !ns.eof && ns.pendIdx+len(ns.pending) < idx+n {
+		want := idx + n - (ns.pendIdx + len(ns.pending))
+		if want < decodeChunk {
+			want = decodeChunk
+		}
+		chunk := make([]sensor.Sample, want)
+		got, err := ns.dec.Next(chunk)
+		ns.pending = append(ns.pending, chunk[:got]...)
+		if err != nil {
+			// EOF ends the stream cleanly; a short or corrupt file also
+			// ends it — the pipeline treats the node as silent from here.
+			ns.eof = true
+		}
+	}
+	// Drop anything before the batch: per-node batches arrive in strictly
+	// increasing idx order, so earlier samples are never requested again.
+	if drop := idx - ns.pendIdx; drop > 0 {
+		if drop > len(ns.pending) {
+			drop = len(ns.pending)
+		}
+		ns.pending = ns.pending[drop:]
+		ns.pendIdx += drop
+	}
+	ns.out = ns.out[:0]
+	for j := ns.pendIdx; j < idx+n && j-ns.pendIdx < len(ns.pending); j++ {
+		if j < idx {
+			continue
+		}
+		s := ns.pending[j-ns.pendIdx]
+		s.T = t0 + float64(j-idx)/t.rate
+		ns.out = append(ns.out, s)
+	}
+	if len(ns.out) == 0 {
+		return nil
+	}
+	return ns.out
+}

@@ -79,15 +79,26 @@ func Write(w io.Writer, h Header, samples []sensor.Sample) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write, reconstructing sample times.
-func Read(r io.Reader) (Header, []sensor.Sample, error) {
+// Decoder reads a binary trace incrementally: the header up front, then
+// samples in caller-sized blocks. It is the streaming counterpart of Read —
+// a replay pipeline can pull one sensing batch at a time and never hold a
+// full recording in memory.
+type Decoder struct {
+	br   *bufio.Reader
+	h    Header
+	read int // samples decoded so far
+}
+
+// NewDecoder consumes the stream's magic and header and returns a decoder
+// positioned at the first sample.
+func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return Header{}, nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if magic != Magic {
-		return Header{}, nil, errors.New("trace: bad magic (not a SID trace)")
+		return nil, errors.New("trace: bad magic (not a SID trace)")
 	}
 	var h Header
 	var n int64
@@ -95,29 +106,68 @@ func Read(r io.Reader) (Header, []sensor.Sample, error) {
 		&h.SampleRate, &h.CountsPerG, &h.Pos.X, &h.Pos.Y, &h.StartTime, &h.Seed, &n,
 	} {
 		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
-			return Header{}, nil, fmt.Errorf("trace: reading header: %w", err)
+			return nil, fmt.Errorf("trace: reading header: %w", err)
 		}
 	}
 	h.NumSamples = int(n)
 	if err := h.validate(); err != nil {
-		return Header{}, nil, err
+		return nil, err
 	}
 	const maxSamples = 1 << 28 // guard against corrupted headers
 	if h.NumSamples > maxSamples {
-		return Header{}, nil, fmt.Errorf("trace: implausible sample count %d", h.NumSamples)
+		return nil, fmt.Errorf("trace: implausible sample count %d", h.NumSamples)
 	}
-	samples := make([]sensor.Sample, h.NumSamples)
-	for i := range samples {
+	return &Decoder{br: br, h: h}, nil
+}
+
+// Header returns the recording's metadata.
+func (d *Decoder) Header() Header { return d.h }
+
+// Decoded returns how many samples have been decoded so far.
+func (d *Decoder) Decoded() int { return d.read }
+
+// Next decodes up to len(dst) samples into dst and returns how many were
+// filled. Sample times are reconstructed as StartTime + i/SampleRate. At the
+// end of the recording it returns 0, io.EOF; a short file surfaces as
+// io.ErrUnexpectedEOF.
+func (d *Decoder) Next(dst []sensor.Sample) (int, error) {
+	remain := d.h.NumSamples - d.read
+	if remain <= 0 {
+		return 0, io.EOF
+	}
+	if len(dst) < remain {
+		remain = len(dst)
+	}
+	for i := 0; i < remain; i++ {
 		var triple [3]int16
-		if err := binary.Read(br, binary.LittleEndian, &triple); err != nil {
-			return Header{}, nil, fmt.Errorf("trace: reading sample %d: %w", i, err)
+		if err := binary.Read(d.br, binary.LittleEndian, &triple); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return i, fmt.Errorf("trace: reading sample %d: %w", d.read, err)
 		}
-		samples[i] = sensor.Sample{
-			T: h.StartTime + float64(i)/h.SampleRate,
+		dst[i] = sensor.Sample{
+			T: d.h.StartTime + float64(d.read)/d.h.SampleRate,
 			X: triple[0], Y: triple[1], Z: triple[2],
 		}
+		d.read++
 	}
-	return h, samples, nil
+	return remain, nil
+}
+
+// Read deserializes a trace written by Write, reconstructing sample times.
+func Read(r io.Reader) (Header, []sensor.Sample, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	samples := make([]sensor.Sample, d.h.NumSamples)
+	if len(samples) > 0 {
+		if _, err := d.Next(samples); err != nil {
+			return Header{}, nil, err
+		}
+	}
+	return d.h, samples, nil
 }
 
 // WriteCSV emits the trace as CSV with a comment header, one row per

@@ -167,8 +167,11 @@ func DefaultDeployment() Config {
 	}
 }
 
-// NewDeployment builds the simulated field.
-func NewDeployment(cfg Config) (*Deployment, error) {
+// runtimeConfig lowers the public Config onto the internal one. It is the
+// single conversion path: NewDeployment, NewFleet and Validate all go
+// through it, so the internal validator is the one source of truth for
+// what a deployment accepts.
+func (cfg Config) runtimeConfig() sid.Config {
 	rc := sid.DefaultConfig()
 	rc.Grid = geo.GridSpec{Rows: cfg.Rows, Cols: cfg.Cols, Spacing: cfg.SpacingM}
 	rc.Hs = cfg.SignificantWaveHeightM
@@ -191,7 +194,19 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		rc.Failover = sid.DefaultFailoverConfig()
 	}
 	rc.Faults = cfg.Faults.internalPlan()
-	rt, err := sid.NewRuntime(rc)
+	return rc
+}
+
+// Validate reports whether the configuration describes a buildable
+// deployment, by delegating to the internal runtime validator (the same
+// check NewDeployment performs).
+func (cfg Config) Validate() error {
+	return cfg.runtimeConfig().Validate()
+}
+
+// NewDeployment builds the simulated field.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	rt, err := sid.NewRuntime(cfg.runtimeConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -58,6 +58,16 @@ func TestDeploymentValidation(t *testing.T) {
 	if _, err := NewDeployment(cfg); err == nil {
 		t.Error("expected error for zero rows")
 	}
+	// Validate delegates to the internal runtime validator — same verdicts
+	// as NewDeployment, without building anything. The per-rule rejection
+	// table lives in internal/sid/config_test.go; this only pins the
+	// delegation.
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted a config NewDeployment rejects")
+	}
+	if err := DefaultDeployment().Validate(); err != nil {
+		t.Errorf("Validate rejected the default deployment: %v", err)
+	}
 	dep, err := NewDeployment(DefaultDeployment())
 	if err != nil {
 		t.Fatal(err)
