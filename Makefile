@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet fmt baseline obs replay
+.PHONY: test bench race vet fmt baseline bench-check obs replay
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -36,8 +36,16 @@ replay:
 	@rm -rf $(REPLAY_TMP)
 
 # Regenerates the machine-readable perf baseline (BENCH_baseline.json).
+# Pinned to GOMAXPROCS=2 so the Workers fan-out is exercised and recorded
+# even on single-core hosts; see docs/PERFORMANCE.md for the methodology.
 baseline:
-	$(GO) run ./cmd/sidbench -bench
+	$(GO) run ./cmd/sidbench -bench -gomaxprocs 2
+
+# Smoke-checks the committed baseline without re-measuring: fails if
+# BENCH_baseline.json is missing, was recorded at GOMAXPROCS <= 1, or lacks
+# the per-stage breakdown the synthesis perf target is pinned to.
+bench-check:
+	$(GO) run ./cmd/sidbench -check
 
 # Observability smoke: journal one golden scenario and render it with
 # sidwatch (see docs/OBSERVABILITY.md). Fails if the report comes out empty.

@@ -22,6 +22,7 @@ import (
 	"github.com/sid-wsn/sid/internal/sensor"
 	isid "github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/sim"
+	"github.com/sid-wsn/sid/internal/source"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
@@ -410,6 +411,28 @@ func BenchmarkFieldSeries(b *testing.B) {
 	}
 }
 
+// BenchmarkFieldStreamSpectral synthesizes the same samples through
+// FFT-based spectral block synthesis (docs/SYNTHESIS.md); the ns/op ratio
+// against BenchmarkFieldSeries is the tentpole speedup of the spectral path.
+func BenchmarkFieldStreamSpectral(b *testing.B) {
+	f := benchField(b)
+	plan, err := ocean.NewSpectralPlan(f, ocean.SpectralConfig{Rate: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := plan.NewStream(geo.Vec2{X: 40, Y: 60})
+	accel := make([]float64, seriesBlock)
+	slopeX := make([]float64, seriesBlock)
+	slopeY := make([]float64, seriesBlock)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range accel {
+			accel[j], slopeX[j], slopeY[j] = 0, 0, 0
+		}
+		st.AccumulateStream(float64(i*seriesBlock)/50, seriesBlock, accel, slopeX, slopeY)
+	}
+}
+
 // BenchmarkSensorBlock measures the full batched sensing path (series
 // synthesis + tilt/quantization/noise) for a one-second 50-sample block —
 // the unit of work the runtime fans out per node.
@@ -440,14 +463,16 @@ func BenchmarkBluestein1500(b *testing.B) {
 }
 
 // benchDeployment runs a short full-deployment segment with the given
-// worker count; Serial vs Parallel shows the fan-out gain (none expected
-// on a single-core host — the recurrence itself is the cross-platform win).
-func benchDeployment(b *testing.B, workers int) {
+// worker count and synthesis mode; Serial vs Parallel shows the fan-out
+// gain (none expected on a single-core host — the synthesis algorithm
+// itself is the cross-platform win).
+func benchDeployment(b *testing.B, workers int, mode source.SynthesisMode) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		cfg := isid.DefaultConfig()
 		cfg.Seed = 7
 		cfg.Workers = workers
+		cfg.Synthesis = mode
 		rt, err := isid.NewRuntime(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -458,8 +483,15 @@ func benchDeployment(b *testing.B, workers int) {
 	}
 }
 
-func BenchmarkDeploymentSerial(b *testing.B)   { benchDeployment(b, 1) }
-func BenchmarkDeploymentParallel(b *testing.B) { benchDeployment(b, 0) }
+func BenchmarkDeploymentSerial(b *testing.B)   { benchDeployment(b, 1, source.SynthPhasor) }
+func BenchmarkDeploymentParallel(b *testing.B) { benchDeployment(b, 0, source.SynthPhasor) }
+
+func BenchmarkDeploymentSerialSpectral(b *testing.B) {
+	benchDeployment(b, 1, source.SynthSpectral)
+}
+func BenchmarkDeploymentParallelSpectral(b *testing.B) {
+	benchDeployment(b, 0, source.SynthSpectral)
+}
 
 func BenchmarkClusterEvaluate(b *testing.B) {
 	reports := randomClusterReports(1)

@@ -16,6 +16,7 @@ import (
 	"github.com/sid-wsn/sid/internal/sensor"
 	"github.com/sid-wsn/sid/internal/sid"
 	"github.com/sid-wsn/sid/internal/sim"
+	"github.com/sid-wsn/sid/internal/source"
 	"github.com/sid-wsn/sid/internal/wake"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
@@ -42,17 +43,28 @@ type stageResult struct {
 // benchFile is the schema of BENCH_baseline.json. Perf-affecting PRs must
 // regenerate the file (see docs/PERFORMANCE.md).
 type benchFile struct {
-	GeneratedBy string        `json:"generated_by"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Benchmarks  []benchResult `json:"benchmarks"`
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// GOMAXPROCS is the scheduler width the suite ran under (the -gomaxprocs
+	// flag). The baseline is recorded at > 1 so Workers fan-out is measured;
+	// NumCPU says how much hardware backed it — on a single-core host a
+	// GOMAXPROCS=2 run is honest about showing ~1x parallel speedups.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is runtime.NumCPU() on the generating host.
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
 	// Stages is the per-stage wall-clock breakdown of one intruder crossing
-	// (profiled deployment, Workers=GOMAXPROCS). Wall-clock values — compare
-	// ratios across machines, not absolutes.
-	Stages  map[string]stageResult `json:"stages,omitempty"`
-	Derived map[string]string      `json:"derived"`
+	// (profiled deployment, Workers=GOMAXPROCS) with spectral synthesis —
+	// the production-leaning configuration the ≥5x synthesis target is
+	// pinned against. Wall-clock values — compare ratios across machines,
+	// not absolutes.
+	Stages map[string]stageResult `json:"stages,omitempty"`
+	// StagesPhasor is the same profiled crossing on the exact phasor
+	// reference path; Stages/StagesPhasor synthesis is the spectral speedup.
+	StagesPhasor map[string]stageResult `json:"stages_phasor,omitempty"`
+	Derived      map[string]string      `json:"derived"`
 }
 
 // timeIt runs fn repeatedly for roughly a second (after one warm-up call)
@@ -83,11 +95,12 @@ func timeIt(fn func()) (float64, int) {
 // under an attached stage profiler and returns the per-stage wall-clock
 // aggregates. The crossing guarantees the cluster-confirmation and
 // speed-estimation stages actually execute (a quiet sea never reaches them).
-func profileStages() (map[string]stageResult, error) {
+func profileStages(mode source.SynthesisMode) (map[string]stageResult, error) {
 	col := obs.New()
 	col.SetProfiler(obs.NewProfiler())
 	cfg := sid.DefaultConfig()
 	cfg.Seed = 7
+	cfg.Synthesis = mode
 	cfg.Obs = col
 	rt, err := sid.NewRuntime(cfg)
 	if err != nil {
@@ -156,6 +169,23 @@ func runBench(path string) error {
 		t0++
 	})
 
+	// Spectral block synthesis: the same 500 samples through the FFT path
+	// behind source.SynthSpectral (docs/SYNTHESIS.md). The ratio against
+	// field_series_batched is the tentpole speedup.
+	plan, err := ocean.NewSpectralPlan(field, ocean.SpectralConfig{Rate: 50})
+	if err != nil {
+		return err
+	}
+	stream := plan.NewStream(p)
+	var st0 float64
+	spectral := add("field_stream_spectral", fmt.Sprintf("%d samples via spectral AccumulateStream", block), func() {
+		for i := range accel {
+			accel[i], slopeX[i], slopeY[i] = 0, 0, 0
+		}
+		stream.AccumulateStream(st0*float64(block)/50, block, accel, slopeX, slopeY)
+		st0++
+	})
+
 	xr := make([]float64, 2048)
 	for i := range xr {
 		xr[i] = float64(i % 97)
@@ -180,11 +210,12 @@ func runBench(path string) error {
 		bt++
 	})
 
-	deployment := func(workers int) func() {
+	deployment := func(workers int, mode source.SynthesisMode) func() {
 		return func() {
 			cfg := sid.DefaultConfig()
 			cfg.Seed = 7
 			cfg.Workers = workers
+			cfg.Synthesis = mode
 			rt, err := sid.NewRuntime(cfg)
 			if err != nil {
 				panic(err)
@@ -194,8 +225,10 @@ func runBench(path string) error {
 			}
 		}
 	}
-	serial := add("deployment_serial_60s", "5x5 grid, 60 s simulated, Workers=1", deployment(1))
-	par := add("deployment_parallel_60s", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS", deployment(0))
+	serial := add("deployment_serial_60s", "5x5 grid, 60 s simulated, Workers=1", deployment(1, source.SynthPhasor))
+	par := add("deployment_parallel_60s", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS", deployment(0, source.SynthPhasor))
+	sserial := add("deployment_serial_60s_spectral", "5x5 grid, 60 s simulated, Workers=1, spectral synthesis", deployment(1, source.SynthSpectral))
+	spar := add("deployment_parallel_60s_spectral", "5x5 grid, 60 s simulated, Workers=GOMAXPROCS, spectral synthesis", deployment(0, source.SynthSpectral))
 
 	// Fleet sharding: many small independent fields fanned across cores.
 	// Inner Workers is forced to 1 by the fleet, so this measures the
@@ -221,23 +254,32 @@ func runBench(path string) error {
 	fserial := add("fleet_8x30s_serial", "8 independent 3x3 fields, 30 s simulated, fleet Workers=1", fleet(1))
 	fpar := add("fleet_8x30s_parallel", "8 independent 3x3 fields, 30 s simulated, fleet Workers=GOMAXPROCS", fleet(0))
 
-	// Stage breakdown: one profiled deployment with an intruder crossing,
-	// so every pipeline stage (synthesis, detect, cluster, speed) runs.
-	stages, err := profileStages()
+	// Stage breakdown: one profiled deployment with an intruder crossing per
+	// synthesis mode, so every pipeline stage (synthesis, detect, cluster,
+	// speed) runs. The spectral run is the headline Stages section.
+	stages, err := profileStages(source.SynthSpectral)
 	if err != nil {
 		return err
 	}
-	fmt.Println("  stage breakdown (profiled intruder crossing):")
-	stageNames := make([]string, 0, len(stages))
-	for name := range stages {
-		stageNames = append(stageNames, name)
+	stagesPhasor, err := profileStages(source.SynthPhasor)
+	if err != nil {
+		return err
 	}
-	sort.Strings(stageNames)
-	for _, name := range stageNames {
-		st := stages[name]
-		fmt.Printf("    %-10s %6d spans  %12.0f ns/op  %8.1f ms total\n",
-			name, st.Count, st.NsPerOp, float64(st.TotalNs)/1e6)
+	printStages := func(label string, st map[string]stageResult) {
+		fmt.Printf("  stage breakdown (profiled intruder crossing, %s):\n", label)
+		names := make([]string, 0, len(st))
+		for name := range st {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := st[name]
+			fmt.Printf("    %-10s %6d spans  %12.0f ns/op  %8.1f ms total\n",
+				name, s.Count, s.NsPerOp, float64(s.TotalNs)/1e6)
+		}
 	}
+	printStages("spectral", stages)
+	printStages("phasor", stagesPhasor)
 
 	radio := wsn.DefaultRadioConfig()
 	radio.LossProb = 0.2
@@ -257,17 +299,23 @@ func runBench(path string) error {
 	})
 
 	out := benchFile{
-		GeneratedBy: "go run ./cmd/sidbench -bench",
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Benchmarks:  results,
-		Stages:      stages,
+		GeneratedBy:  "go run ./cmd/sidbench -bench",
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Benchmarks:   results,
+		Stages:       stages,
+		StagesPhasor: stagesPhasor,
 		Derived: map[string]string{
-			"field_series_speedup":        fmt.Sprintf("%.2fx", perSample.NsPerOp/batched.NsPerOp),
-			"deployment_parallel_speedup": fmt.Sprintf("%.2fx", serial.NsPerOp/par.NsPerOp),
-			"fleet_parallel_speedup":      fmt.Sprintf("%.2fx", fserial.NsPerOp/fpar.NsPerOp),
+			"field_series_speedup":                 fmt.Sprintf("%.2fx", perSample.NsPerOp/batched.NsPerOp),
+			"field_spectral_speedup":               fmt.Sprintf("%.2fx", batched.NsPerOp/spectral.NsPerOp),
+			"deployment_parallel_speedup":          fmt.Sprintf("%.2fx", serial.NsPerOp/par.NsPerOp),
+			"deployment_parallel_speedup_spectral": fmt.Sprintf("%.2fx", sserial.NsPerOp/spar.NsPerOp),
+			"deployment_spectral_speedup":          fmt.Sprintf("%.2fx", serial.NsPerOp/sserial.NsPerOp),
+			"synthesis_spectral_speedup":           fmt.Sprintf("%.2fx", stagesPhasor["synthesis"].NsPerOp/stages["synthesis"].NsPerOp),
+			"fleet_parallel_speedup":               fmt.Sprintf("%.2fx", fserial.NsPerOp/fpar.NsPerOp),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -279,6 +327,43 @@ func runBench(path string) error {
 		return err
 	}
 	fmt.Printf("  field series speedup: %s\n", out.Derived["field_series_speedup"])
+	fmt.Printf("  field spectral speedup: %s\n", out.Derived["field_spectral_speedup"])
+	fmt.Printf("  synthesis stage spectral speedup: %s\n", out.Derived["synthesis_spectral_speedup"])
 	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+// checkBench validates an existing baseline file without re-measuring: the
+// `make bench-check` smoke gate. It fails when the file is missing, was
+// recorded at GOMAXPROCS ≤ 1 (parallel speedups would be meaningless), or
+// lacks the per-stage breakdown the synthesis perf target is pinned to.
+func checkBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.GOMAXPROCS <= 1 {
+		return fmt.Errorf("%s: recorded at gomaxprocs=%d; regenerate with -gomaxprocs 2 or higher so parallel speedups are measured", path, bf.GOMAXPROCS)
+	}
+	if bf.NumCPU == 0 {
+		return fmt.Errorf("%s: num_cpu missing; regenerate with the current sidbench", path)
+	}
+	if len(bf.Stages) == 0 {
+		return fmt.Errorf("%s: no stage breakdown; regenerate with the current sidbench", path)
+	}
+	for _, stage := range []string{"synthesis", "detect"} {
+		if _, ok := bf.Stages[stage]; !ok {
+			return fmt.Errorf("%s: stage %q missing from the breakdown", path, stage)
+		}
+	}
+	if len(bf.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	fmt.Printf("%s: ok (gomaxprocs=%d, num_cpu=%d, %d benchmarks, %d stages)\n",
+		path, bf.GOMAXPROCS, bf.NumCPU, len(bf.Benchmarks), len(bf.Stages))
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/sid-wsn/sid/internal/eval"
@@ -21,6 +22,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
 	benchOut := flag.String("benchout", "BENCH_baseline.json", "output path for -bench results")
+	benchCheck := flag.Bool("check", false, "validate the -benchout baseline file instead of running anything")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "pin runtime.GOMAXPROCS for this run (0 = leave as-is); the committed baseline is recorded at 2 so parallel speedups are measured even on single-core hosts")
 	update := flag.Bool("update", false, "with -exp scenarios: rewrite the golden regression corpus")
 	goldenDir := flag.String("golden", scenario.DefaultGoldenDir, "golden corpus directory (for -exp scenarios)")
 	journalDir := flag.String("journal", "", "with -exp scenarios: write one JSONL event journal per scenario into this directory (render with sidwatch)")
@@ -36,6 +39,18 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/pprof and /debug/vars\n", srv.Addr())
+	}
+
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	}
+
+	if *benchCheck {
+		if err := checkBench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-check: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *bench {

@@ -122,6 +122,29 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 	return out
 }
 
+// FFTInPlace transforms x in place without allocating. len(x) must be a
+// power of two (or zero); other lengths return an error without touching x.
+// inverse selects the conjugate-twiddle transform WITHOUT the 1/N
+// normalization — callers that need a true inverse must scale by 1/N
+// themselves (or fold it into the spectrum, as the ocean synthesizer does).
+//
+// This is the zero-allocation primitive behind the spectral-domain block
+// synthesizer (see internal/ocean and docs/SYNTHESIS.md), which transforms
+// the same chunk buffers thousands of times per run. The twiddle and
+// bit-reversal tables come from the process-wide plan cache, so concurrent
+// calls of any size are safe and pay no per-call setup.
+func FFTInPlace(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFTInPlace requires a power-of-two length, got %d", n)
+	}
+	fftRadix2(x, inverse)
+	return nil
+}
+
 // FFTReal transforms a real signal and returns the full complex spectrum of
 // the same length.
 func FFTReal(x []float64) []complex128 {

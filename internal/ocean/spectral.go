@@ -1,0 +1,490 @@
+package ocean
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sid-wsn/sid/internal/dsp"
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// This file implements spectral-domain block synthesis of a Field: instead
+// of rotating every wave component once per sample (O(samples × components),
+// the phasor path in field.go), a SpectralStream synthesizes fixed-length
+// Hann-windowed chunks by scattering each component onto the FFT bin grid
+// with a short interpolation kernel and inverse-transforming the chunk
+// (O(N log N + components × kernel) per N/2 output samples). Consecutive
+// chunks overlap by half their length and sum to the unwindowed series
+// exactly (constant-overlap-add), so arbitrary sample blocks are served by
+// stitching the two chunks that cover each sample. The math, the error
+// budget and the equivalence contract against the phasor path are documented
+// in docs/SYNTHESIS.md.
+
+// SpectralConfig parametrizes spectral-domain synthesis of a wave field.
+// The zero value of every field except Rate selects a documented default.
+type SpectralConfig struct {
+	// Rate is the output sample rate in Hz. Required.
+	Rate float64
+	// Window is the FFT chunk length N in samples; must be a power of two
+	// ≥ 8. Chunks advance by N/2 (half-overlap Hann). 0 selects 1024
+	// (20.48 s of signal at 50 Hz, ~100 KiB of scratch per stream).
+	Window int
+	// Kernel is the half-width K of the per-component frequency-domain
+	// interpolation kernel in bins (each component touches 2K+1 bins).
+	// 0 derives K from the field's amplitude content and the tolerances
+	// below so the truncation error stays under a quarter of the tolerance
+	// (see docs/SYNTHESIS.md); the derived value is clamped to [6, 24].
+	Kernel int
+	// TolAccel and TolSlope are the synthesis error tolerances the derived
+	// kernel width must respect: the maximum per-sample deviation from the
+	// exact component sum, in m/s² and dimensionless slope. Zero selects
+	// half an LSB of the paper's 12-bit ±2 g accelerometer (g/2048 m/s²
+	// and 1/2048), the tolerance of the phasor-equivalence contract.
+	TolAccel, TolSlope float64
+	// CullAccel and CullSlope are total amplitude budgets for dropping the
+	// field's weakest components: components are discarded, weakest first,
+	// while the summed acceleration amplitude (a·ω², m/s²) of everything
+	// discarded stays ≤ CullAccel AND the summed slope amplitude (a·|k|)
+	// stays ≤ CullSlope. Even fully phase-coherent, the dropped components
+	// cannot move any sample by more than the budgets. Zero (either)
+	// disables culling.
+	CullAccel, CullSlope float64
+}
+
+// specComp is one wave component prepared for bin-grid scattering.
+type specComp struct {
+	bin    int     // nearest FFT bin of the per-sample phase step, in [0, N)
+	omega  float64 // angular frequency rad/s
+	kx, ky float64 // wavenumber components rad/m
+	phase  float64 // random phase offset rad
+	cA     float64 // accel spectral amplitude −a·ω² (real)
+	aX, aY float64 // slope spectral amplitudes a·kx, a·ky (imaginary axis)
+	// w[j] is the windowed-Dirichlet kernel weight of bin bin−K+j, with
+	// the 1/N inverse-transform normalization folded in. Node-independent:
+	// it depends only on the component's fractional bin offset.
+	w []complex128
+}
+
+// SpectralPlan is the node-independent half of spectral synthesis for one
+// Field at one sample rate: the culled component set with precomputed kernel
+// weights. Build one per deployment and share it: a plan is immutable after
+// construction and safe for any number of concurrent streams.
+type SpectralPlan struct {
+	field *Field
+	rate  float64
+	dt    float64
+	n     int // chunk length (FFT size), power of two
+	hop   int // n/2
+	k     int // kernel half-width in bins
+	comps []specComp
+
+	culled      int     // components dropped by the amplitude budget
+	culledAccel float64 // Σ a·ω² over dropped components (m/s²)
+	culledSlope float64 // Σ a·|k| over dropped components
+}
+
+// NewSpectralPlan prepares spectral synthesis of f. The plan holds a
+// reference to f (for the exact per-sample paths) but never mutates it.
+func NewSpectralPlan(f *Field, cfg SpectralConfig) (*SpectralPlan, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("ocean: spectral synthesis needs a positive sample rate, got %g", cfg.Rate)
+	}
+	n := cfg.Window
+	if n == 0 {
+		n = 1024
+	}
+	if n < 8 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ocean: spectral window must be a power of two ≥ 8, got %d", n)
+	}
+	if cfg.Kernel < 0 || cfg.Kernel > n/4 {
+		return nil, fmt.Errorf("ocean: spectral kernel half-width must be in [0, Window/4], got %d", cfg.Kernel)
+	}
+	p := &SpectralPlan{
+		field: f,
+		rate:  cfg.Rate,
+		dt:    1 / cfg.Rate,
+		n:     n,
+		hop:   n / 2,
+	}
+	keep := p.cullComponents(f.comps, cfg.CullAccel, cfg.CullSlope)
+	p.k = kernelHalfWidth(cfg, keep, n)
+	p.comps = make([]specComp, 0, len(keep))
+	for _, c := range keep {
+		p.comps = append(p.comps, p.prepare(c))
+	}
+	return p, nil
+}
+
+// cullComponents drops the weakest components within the amplitude budgets
+// and returns the survivors in their original order. The selection is
+// deterministic: components are ranked by their worst-case normalized
+// contribution with index order as the tie-break.
+func (p *SpectralPlan) cullComponents(comps []component, cullAccel, cullSlope float64) []component {
+	if cullAccel <= 0 || cullSlope <= 0 || len(comps) == 0 {
+		return comps
+	}
+	idx := make([]int, len(comps))
+	rank := make([]float64, len(comps))
+	for i, c := range comps {
+		idx[i] = i
+		kmag := math.Hypot(c.kx, c.ky)
+		rank[i] = math.Max(c.amp*c.omega*c.omega/cullAccel, c.amp*kmag/cullSlope)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rank[idx[a]] < rank[idx[b]] })
+	drop := make([]bool, len(comps))
+	var sumA, sumS float64
+	for _, i := range idx {
+		c := comps[i]
+		a := c.amp * c.omega * c.omega
+		s := c.amp * math.Hypot(c.kx, c.ky)
+		if sumA+a > cullAccel || sumS+s > cullSlope {
+			break
+		}
+		sumA += a
+		sumS += s
+		drop[i] = true
+	}
+	keep := make([]component, 0, len(comps))
+	for i, c := range comps {
+		if drop[i] {
+			p.culled++
+			continue
+		}
+		keep = append(keep, c)
+	}
+	p.culledAccel, p.culledSlope = sumA, sumS
+	return keep
+}
+
+// kernelHalfWidth derives the kernel half-width K from the component
+// amplitudes and the configured tolerances. The per-component truncation
+// residual of a Hann kernel cut at ±K bins is bounded by A/(2πK²) per
+// sample; residuals of different components carry unrelated phases, so the
+// series-level error is estimated as peak ≈ 5 × RMS of the per-component
+// bounds and K is chosen to keep that peak under a quarter of the tolerance
+// (see docs/SYNTHESIS.md for the derivation and the safety factors).
+func kernelHalfWidth(cfg SpectralConfig, comps []component, n int) int {
+	if cfg.Kernel != 0 {
+		return cfg.Kernel
+	}
+	tolA := cfg.TolAccel
+	if tolA == 0 {
+		tolA = Gravity / 2048
+	}
+	tolS := cfg.TolSlope
+	if tolS == 0 {
+		tolS = 1.0 / 2048
+	}
+	var varA, varS float64
+	for _, c := range comps {
+		a := c.amp * c.omega * c.omega
+		s := c.amp * math.Hypot(c.kx, c.ky)
+		varA += a * a / 2
+		varS += s * s / 2
+	}
+	need := func(sigma, tol float64) float64 {
+		if sigma == 0 || tol <= 0 {
+			return 0
+		}
+		// 5·σ/(2πK²) ≤ tol/4  ⇒  K ≥ sqrt(20·σ/(2π·tol)).
+		return math.Sqrt(20 * sigma / (2 * math.Pi * tol))
+	}
+	k := int(math.Ceil(math.Max(need(math.Sqrt(varA), tolA), need(math.Sqrt(varS), tolS))))
+	if k < 6 {
+		k = 6
+	}
+	if k > 24 {
+		k = 24
+	}
+	if k > n/4 {
+		k = n / 4
+	}
+	return k
+}
+
+// prepare computes one component's bin index and kernel weights. The
+// per-sample phase step of component c is β = −ω·dt; its nearest bin is
+// round(β·N/2π) mod N and the weight of bin b+j is Ŵ((2π/N)(j−δ))/N, where
+// δ ∈ [−½, ½] is the fractional bin offset and Ŵ is the DFT of the periodic
+// Hann window (a three-term Dirichlet combination).
+func (p *SpectralPlan) prepare(c component) specComp {
+	n := float64(p.n)
+	beta := -c.omega * p.dt
+	frac := beta * n / (2 * math.Pi)
+	braw := math.Round(frac)
+	delta := frac - braw
+	bin := int(braw) % p.n
+	if bin < 0 {
+		bin += p.n
+	}
+	sc := specComp{
+		bin:   bin,
+		omega: c.omega,
+		kx:    c.kx,
+		ky:    c.ky,
+		phase: c.phase,
+		cA:    -c.amp * c.omega * c.omega,
+		aX:    c.amp * c.kx,
+		aY:    c.amp * c.ky,
+		w:     make([]complex128, 2*p.k+1),
+	}
+	binStep := 2 * math.Pi / n
+	for j := -p.k; j <= p.k; j++ {
+		theta := binStep * (float64(j) - delta)
+		w := hannDFT(theta, p.n)
+		sc.w[j+p.k] = w * complex(1/n, 0)
+	}
+	return sc
+}
+
+// dirichlet returns D(θ) = Σ_{u=0}^{N−1} e^{−iθu}
+//
+//	= e^{−i(N−1)θ/2} · sin(Nθ/2)/sin(θ/2).
+func dirichlet(theta float64, n int) complex128 {
+	s := math.Sin(theta / 2)
+	if math.Abs(s) < 1e-14 {
+		return complex(float64(n), 0)
+	}
+	mag := math.Sin(float64(n)*theta/2) / s
+	sp, cp := math.Sincos(-float64(n-1) * theta / 2)
+	return complex(mag*cp, mag*sp)
+}
+
+// hannDFT returns the DFT of the periodic Hann window w[u] = ½ − ½cos(2πu/N)
+// evaluated at continuous frequency θ rad/sample.
+func hannDFT(theta float64, n int) complex128 {
+	binStep := 2 * math.Pi / float64(n)
+	return 0.5*dirichlet(theta, n) -
+		0.25*dirichlet(theta-binStep, n) -
+		0.25*dirichlet(theta+binStep, n)
+}
+
+// NumComponents returns how many components the plan synthesizes (after
+// culling).
+func (p *SpectralPlan) NumComponents() int { return len(p.comps) }
+
+// CulledComponents returns how many of the field's components the amplitude
+// budget discarded, together with the summed acceleration (m/s²) and slope
+// amplitudes of everything discarded — the hard ceiling on the error culling
+// can introduce.
+func (p *SpectralPlan) CulledComponents() (count int, accelSum, slopeSum float64) {
+	return p.culled, p.culledAccel, p.culledSlope
+}
+
+// KernelHalfWidth returns the kernel half-width K in bins (each component
+// scatters onto 2K+1 bins per chunk).
+func (p *SpectralPlan) KernelHalfWidth() int { return p.k }
+
+// Window returns the chunk length N in samples.
+func (p *SpectralPlan) Window() int { return p.n }
+
+// Field returns the underlying phasor field (used by the exact per-sample
+// paths and by equivalence tests).
+func (p *SpectralPlan) Field() *Field { return p.field }
+
+// chunkSlot caches one synthesized chunk: the windowed contribution of
+// chunk m to output samples [m·hop, m·hop+n) of the stream's grid.
+type chunkSlot struct {
+	m                     int
+	valid                 bool
+	accel, slopeX, slopeY []float64
+}
+
+// SpectralStream serves one node's sample blocks from a shared SpectralPlan.
+// It is the streaming, stateful half of spectral synthesis: it anchors an
+// absolute chunk grid at the first block it serves, synthesizes chunks on
+// demand, caches the handful that cover the current read position, and adds
+// the two overlapping chunks covering each requested sample.
+//
+// A stream implements sensor.StreamSampler (the block path), plus the
+// SurfaceModel/SurfaceSampler point interfaces by delegating to the exact
+// phasor field — so per-sample consumers (calibration, evaluation plots) see
+// the exact field while the pipeline's block path gets the FFT synthesis.
+//
+// Streams are NOT safe for concurrent use: each stream belongs to one node
+// and the pipeline guarantees per-node calls are sequential (the Source
+// contract). Distinct streams sharing one plan may run concurrently.
+type SpectralStream struct {
+	plan    *SpectralPlan
+	pos     geo.Vec2
+	posAt   func(t float64) geo.Vec2 // nil for a fixed observer
+	started bool
+	tBase   float64 // time of grid sample 0
+	slots   [3]chunkSlot
+	scratch [3][]complex128
+	chunks  int64 // chunks synthesized (profiling/culling stats)
+}
+
+// NewStream returns a stream for a fixed observer at p.
+func (p *SpectralPlan) NewStream(pos geo.Vec2) *SpectralStream {
+	return &SpectralStream{plan: p, pos: pos}
+}
+
+// NewMovingStream returns a stream for a slowly drifting observer: each
+// chunk is synthesized at the frozen position posAt(chunk center time).
+// Within a chunk the observer does not move — the spectral path trades the
+// phasor path's per-block drift linearization for per-chunk freezing, which
+// preserves the ambient sea's statistics but not its exact drifted phases
+// (the phasor-equivalence contract therefore holds for fixed observers; see
+// docs/SYNTHESIS.md for why drifting ambient phase is statistically
+// irrelevant while wake onsets stay exact per sample).
+func (p *SpectralPlan) NewMovingStream(posAt func(t float64) geo.Vec2) *SpectralStream {
+	return &SpectralStream{plan: p, posAt: posAt}
+}
+
+// ChunksSynthesized returns how many chunks the stream has synthesized —
+// the denominator of the amortized cost story (each chunk serves hop new
+// samples).
+func (s *SpectralStream) ChunksSynthesized() int64 { return s.chunks }
+
+// VerticalAccel implements sensor.SurfaceModel via the exact phasor field.
+func (s *SpectralStream) VerticalAccel(p geo.Vec2, t float64) float64 {
+	return s.plan.field.VerticalAccel(p, t)
+}
+
+// Slope implements sensor.SurfaceModel via the exact phasor field.
+func (s *SpectralStream) Slope(p geo.Vec2, t float64) geo.Vec2 {
+	return s.plan.field.Slope(p, t)
+}
+
+// SampleSurface implements sensor.SurfaceSampler via the exact phasor field.
+func (s *SpectralStream) SampleSurface(p geo.Vec2, t float64) (float64, geo.Vec2) {
+	return s.plan.field.SampleSurface(p, t)
+}
+
+// AccumulateStream adds the field's contribution for the n samples
+// t0, t0+dt, … into the caller's buffers (accel in m/s², slopes
+// dimensionless; all buffers length ≥ n), synthesizing spectral chunks as
+// the read position advances. The first call anchors the chunk grid so that
+// t0 falls exactly on a grid sample; later calls must stay on that grid
+// (the pipeline's blocks do — sample times are global-index × dt). Serving
+// the same grid range in one call or many yields bit-identical samples,
+// which is what keeps record→replay equivalence exact in spectral mode.
+func (s *SpectralStream) AccumulateStream(t0 float64, n int, accel, slopeX, slopeY []float64) {
+	if n <= 0 {
+		return
+	}
+	p := s.plan
+	if !s.started {
+		s.started = true
+		s.tBase = t0 - math.Round(t0*p.rate)*p.dt
+	}
+	si := int(math.Round((t0 - s.tBase) * p.rate))
+	hop := p.hop
+	for off := 0; off < n; {
+		sAbs := si + off
+		m := floorDiv(sAbs, hop)
+		cnt := (m+1)*hop - sAbs // samples left in this hop segment
+		if rest := n - off; cnt > rest {
+			cnt = rest
+		}
+		cur := s.chunk(m)      // covers grid samples [m·hop, m·hop+n)
+		prev := s.chunk(m - 1) // covers [(m−1)·hop, (m+1)·hop)
+		u1 := sAbs - m*hop
+		u0 := u1 + hop
+		for i := 0; i < cnt; i++ {
+			accel[off+i] += cur.accel[u1+i] + prev.accel[u0+i]
+			slopeX[off+i] += cur.slopeX[u1+i] + prev.slopeX[u0+i]
+			slopeY[off+i] += cur.slopeY[u1+i] + prev.slopeY[u0+i]
+		}
+		off += cnt
+	}
+}
+
+// floorDiv is integer division rounding toward −∞ (a may be negative when
+// the first block starts mid-chunk).
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// chunk returns the cached chunk m, synthesizing it into the least recently
+// useful slot if absent. Slots are replaced smallest-m first, which under
+// the stream's monotone access pattern never evicts a chunk needed later in
+// the same call.
+func (s *SpectralStream) chunk(m int) *chunkSlot {
+	victim := -1
+	for i := range s.slots {
+		sl := &s.slots[i]
+		if sl.valid && sl.m == m {
+			return sl
+		}
+		if !sl.valid {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(s.slots); i++ {
+			if s.slots[i].m < s.slots[victim].m {
+				victim = i
+			}
+		}
+	}
+	sl := &s.slots[victim]
+	s.synthesize(sl, m)
+	return sl
+}
+
+// synthesize fills slot with chunk m: scatter every component onto the bin
+// grid with its kernel weights and phase rotation for this chunk, inverse
+// transform in place, and keep the real parts. The three series share the
+// per-component phase rotation; the kernel weights come from the shared
+// plan.
+func (s *SpectralStream) synthesize(sl *chunkSlot, m int) {
+	p := s.plan
+	n := p.n
+	if sl.accel == nil {
+		sl.accel = make([]float64, n)
+		sl.slopeX = make([]float64, n)
+		sl.slopeY = make([]float64, n)
+	}
+	if s.scratch[0] == nil {
+		for i := range s.scratch {
+			s.scratch[i] = make([]complex128, n)
+		}
+	}
+	tm := s.tBase + float64(m*p.hop)*p.dt
+	pos := s.pos
+	if s.posAt != nil {
+		pos = s.posAt(tm + 0.5*float64(n)*p.dt)
+	}
+	sa, sx, sy := s.scratch[0], s.scratch[1], s.scratch[2]
+	for i := 0; i < n; i++ {
+		sa[i], sx[i], sy[i] = 0, 0, 0
+	}
+	kHalf := p.k
+	mask := n - 1
+	for ci := range p.comps {
+		c := &p.comps[ci]
+		// Phase of the component at the chunk's first sample, at the
+		// chunk's frozen observer position.
+		sin, cos := math.Sincos(c.kx*pos.X + c.ky*pos.Y + c.phase - c.omega*tm)
+		u := complex(cos, sin)
+		uA := u * complex(c.cA, 0)
+		uX := u * complex(0, c.aX)
+		uY := u * complex(0, c.aY)
+		base := c.bin - kHalf + n // + n keeps the masked index non-negative
+		for j, w := range c.w {
+			idx := (base + j) & mask
+			sa[idx] += uA * w
+			sx[idx] += uX * w
+			sy[idx] += uY * w
+		}
+	}
+	// Unnormalized inverse transforms; the 1/N lives in the kernel weights.
+	dsp.FFTInPlace(sa, true)
+	dsp.FFTInPlace(sx, true)
+	dsp.FFTInPlace(sy, true)
+	for i := 0; i < n; i++ {
+		sl.accel[i] = real(sa[i])
+		sl.slopeX[i] = real(sx[i])
+		sl.slopeY[i] = real(sy[i])
+	}
+	sl.m, sl.valid = m, true
+	s.chunks++
+}

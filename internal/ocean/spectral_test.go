@@ -1,0 +1,300 @@
+package ocean
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// halfLSB is the phasor-equivalence tolerance: half a quantization step of
+// the paper's 12-bit ±2 g accelerometer (1024 counts/g), in m/s² for the
+// acceleration series and dimensionless for the slopes.
+const (
+	halfLSBAccel = 0.5 * Gravity / 1024
+	halfLSBSlope = 0.5 / 1024
+)
+
+func testField(t *testing.T, hs, tp float64, seed int64) *Field {
+	t.Helper()
+	spec, err := NewPiersonMoskowitz(hs, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewField(FieldConfig{Spectrum: spec, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func testPlan(t *testing.T, f *Field, cfg SpectralConfig) *SpectralPlan {
+	t.Helper()
+	if cfg.Rate == 0 {
+		cfg.Rate = 50
+	}
+	p, err := NewSpectralPlan(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// accumulateBlocks serves n samples from the stream in blocks of blockLen.
+func accumulateBlocks(s *SpectralStream, t0, dt float64, n, blockLen int, accel, slopeX, slopeY []float64) {
+	for off := 0; off < n; off += blockLen {
+		cnt := blockLen
+		if n-off < cnt {
+			cnt = n - off
+		}
+		s.AccumulateStream(t0+float64(off)*dt, cnt,
+			accel[off:off+cnt], slopeX[off:off+cnt], slopeY[off:off+cnt])
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestSpectralMatchesPhasor is the phasor-equivalence property test: for
+// randomized sea states and observer positions, the spectral stream must
+// reproduce the phasor series within half a quantization step on every
+// sample (the contract documented in docs/SYNTHESIS.md).
+func TestSpectralMatchesPhasor(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type caseSpec struct {
+		hs, tp float64
+		seed   int64
+		window int
+	}
+	cases := []caseSpec{
+		{0.15, 3.2, 1, 0},   // smooth
+		{0.25, 4.0, 2, 0},   // the default deployment sea
+		{1.0, 6.0, 3, 0},    // moderate
+		{3.0, 8.5, 4, 0},    // rough
+		{0.25, 4.0, 5, 512}, // non-default window
+		{0.25, 4.0, 6, 2048},
+	}
+	for i := 0; i < 8; i++ {
+		cases = append(cases, caseSpec{
+			hs:   0.1 + 2.9*rng.Float64(),
+			tp:   3 + 6*rng.Float64(),
+			seed: rng.Int63(),
+		})
+	}
+	const (
+		rate = 50.0
+		dt   = 1 / rate
+		n    = 3000
+	)
+	for _, tc := range cases {
+		f := testField(t, tc.hs, tc.tp, tc.seed)
+		plan := testPlan(t, f, SpectralConfig{Rate: rate, Window: tc.window})
+		pos := geo.Vec2{X: -200 + 400*rng.Float64(), Y: -200 + 400*rng.Float64()}
+		t0 := 100 * rng.Float64()
+		// Phasor "blocks" must resync against the exact phase the way the
+		// pipeline does, so serve the reference in pipeline-sized blocks.
+		ref := SurfaceSeries{
+			Accel:  make([]float64, n),
+			SlopeX: make([]float64, n),
+			SlopeY: make([]float64, n),
+		}
+		f.AccumulateSeries(pos, t0, dt, n, ref.Accel, ref.SlopeX, ref.SlopeY)
+
+		got := SurfaceSeries{
+			Accel:  make([]float64, n),
+			SlopeX: make([]float64, n),
+			SlopeY: make([]float64, n),
+		}
+		accumulateBlocks(plan.NewStream(pos), t0, dt, n, 25, got.Accel, got.SlopeX, got.SlopeY)
+
+		da := maxAbsDiff(ref.Accel, got.Accel)
+		dx := maxAbsDiff(ref.SlopeX, got.SlopeX)
+		dy := maxAbsDiff(ref.SlopeY, got.SlopeY)
+		if da > halfLSBAccel || dx > halfLSBSlope || dy > halfLSBSlope {
+			t.Errorf("Hs=%.2f Tp=%.2f seed=%d window=%d K=%d: spectral deviates from phasor: accel %.3g (tol %.3g), slopeX %.3g slopeY %.3g (tol %.3g)",
+				tc.hs, tc.tp, tc.seed, plan.Window(), plan.KernelHalfWidth(), da, halfLSBAccel, dx, dy, halfLSBSlope)
+		}
+	}
+}
+
+// TestSpectralBoundaryContinuity asserts the overlap-add stitching is exact:
+// the same grid range served in pipeline-sized blocks, in uneven blocks, and
+// in one call must be bit-identical — no seams at chunk or hop boundaries.
+func TestSpectralBoundaryContinuity(t *testing.T) {
+	f := testField(t, 0.4, 4.5, 99)
+	const (
+		rate = 50.0
+		dt   = 1 / rate
+		n    = 2600 // spans several 512-sample hops
+	)
+	plan := testPlan(t, f, SpectralConfig{Rate: rate})
+	pos := geo.Vec2{X: 31, Y: -47}
+	t0 := 12.34
+
+	serve := func(blockLen int) SurfaceSeries {
+		out := SurfaceSeries{
+			Accel:  make([]float64, n),
+			SlopeX: make([]float64, n),
+			SlopeY: make([]float64, n),
+		}
+		accumulateBlocks(plan.NewStream(pos), t0, dt, n, blockLen, out.Accel, out.SlopeX, out.SlopeY)
+		return out
+	}
+	whole := serve(n)
+	for _, blockLen := range []int{25, 17, 512, 1000} {
+		blocks := serve(blockLen)
+		for i := 0; i < n; i++ {
+			if blocks.Accel[i] != whole.Accel[i] || blocks.SlopeX[i] != whole.SlopeX[i] || blocks.SlopeY[i] != whole.SlopeY[i] {
+				t.Fatalf("block length %d: sample %d differs from single-call synthesis (accel %v vs %v)",
+					blockLen, i, blocks.Accel[i], whole.Accel[i])
+			}
+		}
+	}
+}
+
+// TestSpectralGapContinuity: a stream that skips ahead (duty-cycled node)
+// must produce the same samples at the same grid indices as a stream that
+// served every block — chunks live on an absolute grid, not a read cursor.
+func TestSpectralGapContinuity(t *testing.T) {
+	f := testField(t, 0.3, 5.0, 7)
+	const (
+		rate = 50.0
+		dt   = 1 / rate
+		n    = 2000
+	)
+	plan := testPlan(t, f, SpectralConfig{Rate: rate})
+	pos := geo.Vec2{X: 5, Y: 5}
+
+	full := SurfaceSeries{
+		Accel:  make([]float64, n),
+		SlopeX: make([]float64, n),
+		SlopeY: make([]float64, n),
+	}
+	accumulateBlocks(plan.NewStream(pos), 0, dt, n, 25, full.Accel, full.SlopeX, full.SlopeY)
+
+	// Serve only every 4th 25-sample block, like a duty-cycled node.
+	gappy := plan.NewStream(pos)
+	for off := 0; off < n; off += 100 {
+		accel := make([]float64, 25)
+		sx := make([]float64, 25)
+		sy := make([]float64, 25)
+		gappy.AccumulateStream(float64(off)*dt, 25, accel, sx, sy)
+		for i := 0; i < 25; i++ {
+			if accel[i] != full.Accel[off+i] || sx[i] != full.SlopeX[off+i] || sy[i] != full.SlopeY[off+i] {
+				t.Fatalf("gapped stream sample %d differs from contiguous stream", off+i)
+			}
+		}
+	}
+}
+
+// TestSpectralCullingBudget: with amplitude budgets set, the plan must drop
+// components, report their summed amplitudes within the budgets, and the
+// synthesized series must stay within budget+tolerance of the exact series.
+func TestSpectralCullingBudget(t *testing.T) {
+	f := testField(t, 0.25, 4.0, 11)
+	const (
+		rate      = 50.0
+		dt        = 1 / rate
+		n         = 2000
+		cullAccel = 0.25 * Gravity / 1024
+		cullSlope = 0.25 / 1024
+	)
+	plan := testPlan(t, f, SpectralConfig{Rate: rate, CullAccel: cullAccel, CullSlope: cullSlope})
+	count, accelSum, slopeSum := plan.CulledComponents()
+	if count == 0 {
+		t.Fatalf("expected the default sea to have cullable components, got none (of %d)", f.NumComponents())
+	}
+	if accelSum > cullAccel || slopeSum > cullSlope {
+		t.Fatalf("culled amplitude sums exceed budgets: accel %g > %g or slope %g > %g",
+			accelSum, cullAccel, slopeSum, cullSlope)
+	}
+	if plan.NumComponents()+count != f.NumComponents() {
+		t.Fatalf("component accounting: %d active + %d culled != %d total",
+			plan.NumComponents(), count, f.NumComponents())
+	}
+
+	pos := geo.Vec2{X: 12, Y: 80}
+	ref := SurfaceSeries{
+		Accel:  make([]float64, n),
+		SlopeX: make([]float64, n),
+		SlopeY: make([]float64, n),
+	}
+	f.AccumulateSeries(pos, 0, dt, n, ref.Accel, ref.SlopeX, ref.SlopeY)
+	got := SurfaceSeries{
+		Accel:  make([]float64, n),
+		SlopeX: make([]float64, n),
+		SlopeY: make([]float64, n),
+	}
+	accumulateBlocks(plan.NewStream(pos), 0, dt, n, 25, got.Accel, got.SlopeX, got.SlopeY)
+	if da := maxAbsDiff(ref.Accel, got.Accel); da > cullAccel+halfLSBAccel {
+		t.Errorf("culled accel deviates %g, above budget+tolerance %g", da, cullAccel+halfLSBAccel)
+	}
+	if ds := math.Max(maxAbsDiff(ref.SlopeX, got.SlopeX), maxAbsDiff(ref.SlopeY, got.SlopeY)); ds > cullSlope+halfLSBSlope {
+		t.Errorf("culled slope deviates %g, above budget+tolerance %g", ds, cullSlope+halfLSBSlope)
+	}
+}
+
+// TestSpectralMovingStreamDeterminism: a drifting stream is deterministic —
+// two identically configured streams serve bit-identical samples.
+func TestSpectralMovingStreamDeterminism(t *testing.T) {
+	f := testField(t, 0.25, 4.0, 21)
+	const (
+		rate = 50.0
+		dt   = 1 / rate
+		n    = 1500
+	)
+	plan := testPlan(t, f, SpectralConfig{Rate: rate})
+	posAt := func(t float64) geo.Vec2 {
+		return geo.Vec2{X: 3 * math.Sin(2*math.Pi*t/60), Y: 2 * math.Cos(2*math.Pi*t/45)}
+	}
+	mk := func() SurfaceSeries {
+		out := SurfaceSeries{
+			Accel:  make([]float64, n),
+			SlopeX: make([]float64, n),
+			SlopeY: make([]float64, n),
+		}
+		accumulateBlocks(plan.NewMovingStream(posAt), 0, dt, n, 25, out.Accel, out.SlopeX, out.SlopeY)
+		return out
+	}
+	a, b := mk(), mk()
+	for i := 0; i < n; i++ {
+		if a.Accel[i] != b.Accel[i] || a.SlopeX[i] != b.SlopeX[i] || a.SlopeY[i] != b.SlopeY[i] {
+			t.Fatalf("moving streams diverge at sample %d", i)
+		}
+	}
+}
+
+func BenchmarkSpectralStreamPerSample(b *testing.B) {
+	spec, err := NewPiersonMoskowitz(0.25, 4.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := NewField(FieldConfig{Spectrum: spec, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := NewSpectralPlan(f, SpectralConfig{Rate: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := plan.NewStream(geo.Vec2{X: 10, Y: 10})
+	const blockLen = 25
+	accel := make([]float64, blockLen)
+	sx := make([]float64, blockLen)
+	sy := make([]float64, blockLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += blockLen {
+		for j := range accel {
+			accel[j], sx[j], sy[j] = 0, 0, 0
+		}
+		s.AccumulateStream(float64(i)/50, blockLen, accel, sx, sy)
+	}
+}

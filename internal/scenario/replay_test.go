@@ -32,9 +32,18 @@ func journaledRun(t *testing.T, run func(col *obs.Collector) (*Result, error)) (
 // the single-10kn golden scenario, replay the recording through a
 // source.Trace, and require the replay's detections and journal event
 // stream to be bit-identical to the originating simulation — in memory and
-// after a SIDTRACE disk round-trip.
+// after a SIDTRACE disk round-trip. The gate runs once per synthesis mode:
+// a spectral recording must replay just as bit-identically as a phasor one
+// (replay itself never synthesizes, so the mode only shapes what was
+// recorded).
 func TestRecordReplayEquivalence(t *testing.T) {
+	t.Run("phasor", func(t *testing.T) { testRecordReplayEquivalence(t, false) })
+	t.Run("spectral", func(t *testing.T) { testRecordReplayEquivalence(t, true) })
+}
+
+func testRecordReplayEquivalence(t *testing.T, spectral bool) {
 	spec := corpusSpec(t, "single-10kn")
+	spec.Spectral = spectral
 
 	var rec *source.Recording
 	orig, origJournal := journaledRun(t, func(col *obs.Collector) (*Result, error) {

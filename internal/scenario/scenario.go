@@ -76,6 +76,12 @@ type Spec struct {
 	CollectWindow float64
 	// MinReports overrides the cluster cancellation threshold when positive.
 	MinReports int
+	// Spectral switches the synthetic field to FFT-based spectral block
+	// synthesis (source.SynthSpectral); false keeps the exact phasor
+	// reference path. Golden traces are recorded on the phasor path; the
+	// spectral path matches it within one ADC count per sample (see
+	// docs/SYNTHESIS.md). Ignored on replay runs.
+	Spectral bool
 	// Ships are the intruding vessels (may be empty: a quiet-sea trial).
 	Ships []ShipSpec
 	// Faults is a deterministic fault plan applied at construction.
@@ -123,6 +129,9 @@ func (s Spec) compile() (sid.Config, error) {
 	}
 	cfg.Faults = s.Faults
 	cfg.Workers = s.Workers
+	if s.Spectral {
+		cfg.Synthesis = source.SynthSpectral
+	}
 	cfg.Seed = s.Seed
 	return cfg, nil
 }

@@ -57,6 +57,37 @@ type MovingSeriesSampler interface {
 	AccumulateSeriesMoving(p0, v geo.Vec2, t0, dt float64, n int, accel, slopeX, slopeY []float64)
 }
 
+// StreamSampler is the stateful streaming fast path: a model that carries
+// its own observer (position, drift) and serves consecutive sample blocks
+// from an internal synthesis cursor — ocean.SpectralStream's FFT-based
+// chunk synthesis. SampleBlock dispatches to it before every other path and
+// does not pass a position: the stream owns its observer. One StreamSampler
+// serves one node; the pipeline's per-node sequential Block contract is
+// exactly the stream's requirement.
+type StreamSampler interface {
+	AccumulateStream(t0 float64, n int, accel, slopeX, slopeY []float64)
+}
+
+// BoundedModel is a SurfaceModel that can bound its own contribution over a
+// time window, enabling the sensor to cull it from a block entirely: if the
+// model's acceleration and slope bounds over the block are both below the
+// sensor's culling thresholds (fractions of one ADC count), evaluating it
+// cannot change any quantized sample by more than the threshold, so the
+// per-sample evaluation is skipped. Wake packets implement it — a wake is
+// a localized Gaussian packet, so for most nodes most blocks are provably
+// negligible long before and after the packet passes.
+//
+// Bounds must be conservative for any observer within ~0.5 m of p over
+// [t0, t1] (the most a moored buoy drifts within one block); the sensor
+// additionally pads the window and inflates the bounds before comparing
+// against its thresholds.
+type BoundedModel interface {
+	SurfaceModel
+	// Bounds returns upper bounds on |VerticalAccel| (m/s²) and |Slope|
+	// (dimensionless) over the window [t0, t1] near p.
+	Bounds(p geo.Vec2, t0, t1 float64) (accel, slope float64)
+}
+
 // Composite sums several surface models (e.g. the ambient sea plus one or
 // more ship wakes).
 type Composite []SurfaceModel
@@ -227,12 +258,48 @@ func (b *Buoy) Position(t float64) geo.Vec2 {
 	return b.cfg.Anchor.Add(geo.Vec2{X: dx, Y: dy})
 }
 
+// CullThresholds are the per-block amplitude floors below which a
+// BoundedModel is skipped: a model whose acceleration bound (m/s²) and
+// slope bound (dimensionless) over the block both fall under the thresholds
+// is not evaluated at all. Zero (either field) disables culling. The source
+// layer's spectral mode sets both to a quarter of one ADC count — a
+// contribution that small cannot move a quantized sample by more than the
+// rounding it already suffers.
+type CullThresholds struct {
+	Accel float64 // m/s²
+	Slope float64 // dimensionless
+}
+
 // Sensor couples a buoy with an accelerometer and produces sample streams.
 type Sensor struct {
 	Buoy  *Buoy
 	Accel AccelConfig
 	rng   *rand.Rand
+
+	cull        CullThresholds
+	cullSkipped int64
+	cullChecked int64
 }
+
+// SetCullThresholds enables (or, with the zero value, disables) per-block
+// culling of BoundedModel members in SampleBlock. Culling is opt-in because
+// it changes which models are evaluated — bit-compatibility with recorded
+// phasor-mode traces requires it off.
+func (s *Sensor) SetCullThresholds(c CullThresholds) { s.cull = c }
+
+// CullStats reports how many BoundedModel block evaluations were skipped
+// out of how many were checked since the sensor was created.
+func (s *Sensor) CullStats() (skipped, checked int64) { return s.cullSkipped, s.cullChecked }
+
+// cullSlackTime pads the culling window on both sides and cullSlackFactor
+// inflates the model's bounds, covering intra-block buoy drift (≤ ~0.1 m
+// over a 0.5 s block; amplitude and arrival-time sensitivity to position are
+// both well under these margins at the ≥ 2 m distances the decay law clamps
+// to).
+const (
+	cullSlackTime   = 0.25
+	cullSlackFactor = 1.15
+)
 
 // NewSensor validates the configuration and returns a sensor whose noise
 // stream is seeded from the buoy seed.
@@ -345,6 +412,14 @@ func (s *Sensor) SampleBlock(model SurfaceModel, t0 float64, n int, buf *BlockBu
 		members = c
 	}
 	for _, m := range members {
+		if st, ok := m.(StreamSampler); ok {
+			// The stream owns its observer (position and drift); see
+			// StreamSampler. Dispatched first: a spectral stream also
+			// implements the point interfaces for exact evaluation, but in
+			// the block path the chunk synthesis is the whole point.
+			st.AccumulateStream(t0, n, buf.accel, buf.slopeX, buf.slopeY)
+			continue
+		}
 		if ms, ok := m.(MovingSeriesSampler); ok {
 			ms.AccumulateSeriesMoving(p0, v, t0, dt, n, buf.accel, buf.slopeX, buf.slopeY)
 			continue
@@ -352,6 +427,15 @@ func (s *Sensor) SampleBlock(model SurfaceModel, t0 float64, n int, buf *BlockBu
 		if bs, ok := m.(SurfaceSeriesSampler); ok {
 			bs.AccumulateSeries(p0, t0, dt, n, buf.accel, buf.slopeX, buf.slopeY)
 			continue
+		}
+		if bm, ok := m.(BoundedModel); ok && s.cull.Accel > 0 && s.cull.Slope > 0 {
+			s.cullChecked++
+			t1 := t0 + float64(n-1)*dt
+			ba, bs := bm.Bounds(p0, t0-cullSlackTime, t1+cullSlackTime)
+			if ba*cullSlackFactor <= s.cull.Accel && bs*cullSlackFactor <= s.cull.Slope {
+				s.cullSkipped++
+				continue
+			}
 		}
 		for i := 0; i < n; i++ {
 			t := t0 + float64(i)/rate

@@ -96,6 +96,12 @@ type Config struct {
 	// own streams, so runs are bit-identical for any Workers value — the
 	// knob trades wall-clock time only.
 	Workers int
+	// Synthesis selects the synthetic source's sample-synthesis path when
+	// Source is nil: the zero value is the exact phasor reference,
+	// source.SynthSpectral the FFT-based spectral path (equivalent within
+	// half a quantization step; see docs/SYNTHESIS.md). Ignored when
+	// Source is non-nil.
+	Synthesis source.SynthesisMode
 	// Seed drives every random stream in the deployment.
 	Seed int64
 	// Source supplies every node's sample stream. Nil builds the synthetic
@@ -152,6 +158,9 @@ func (c Config) Validate() error {
 		}
 		if c.DriftRadius < 0 {
 			return fmt.Errorf("sid: DriftRadius must be non-negative, got %g", c.DriftRadius)
+		}
+		if c.Synthesis != source.SynthPhasor && c.Synthesis != source.SynthSpectral {
+			return fmt.Errorf("sid: unknown synthesis mode %d", c.Synthesis)
 		}
 	} else if n := c.Source.NumNodes(); n != c.Grid.NumNodes() {
 		return fmt.Errorf("sid: source serves %d node streams, grid has %d nodes", n, c.Grid.NumNodes())
@@ -359,6 +368,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			Tp:          cfg.Tp,
 			DriftRadius: cfg.DriftRadius,
 			Seed:        cfg.Seed,
+			Synthesis:   cfg.Synthesis,
 		})
 		if err != nil {
 			return nil, err

@@ -6,7 +6,9 @@
 //
 //   - Synthetic: the simulated deployment (ocean field + ship wakes +
 //     buoy/sensor models), synthesized per node in batched blocks, exactly
-//     as the pre-refactor Runtime did, and
+//     as the pre-refactor Runtime did — with a choice of synthesis engine
+//     (SynthPhasor, the exact reference, or SynthSpectral, FFT-based block
+//     synthesis; see docs/SYNTHESIS.md), and
 //   - Trace: replayed SIDTRACE recordings — the stand-in for the paper's
 //     sea-trial data — streamed per node with bounded memory.
 //
@@ -62,6 +64,40 @@ type Appender interface {
 	AddSource(m sensor.SurfaceModel)
 }
 
+// SynthesisMode selects how Synthetic turns the wave field into sample
+// blocks. The zero value is the phasor path, so existing configurations and
+// recorded traces are unaffected by the existence of the spectral mode.
+type SynthesisMode int
+
+const (
+	// SynthPhasor rotates every wave component once per sample (the
+	// original path: O(samples × components), exact per-sample drift
+	// linearization). This is the bit-compatibility reference: golden
+	// traces and seeded regression runs were recorded in this mode.
+	SynthPhasor SynthesisMode = iota
+	// SynthSpectral synthesizes each node's samples by inverse FFT of the
+	// sampled wave spectrum in overlapping windowed chunks
+	// (O(N log N + components × kernel) per N/2 samples — see
+	// docs/SYNTHESIS.md), with component culling below the quantization
+	// floor and per-block wake-packet culling. Equivalent to the phasor
+	// path within half a quantization step for a fixed observer; a
+	// drifting observer is frozen per chunk instead of per sample (wake
+	// onsets remain exact per sample in both modes).
+	SynthSpectral
+)
+
+// String implements fmt.Stringer for logs and bench metadata.
+func (m SynthesisMode) String() string {
+	switch m {
+	case SynthPhasor:
+		return "phasor"
+	case SynthSpectral:
+		return "spectral"
+	default:
+		return fmt.Sprintf("SynthesisMode(%d)", int(m))
+	}
+}
+
 // SyntheticConfig assembles a simulated sample source.
 type SyntheticConfig struct {
 	// Positions are the node deployment positions (grid anchors).
@@ -78,24 +114,50 @@ type SyntheticConfig struct {
 	// seed^0x0cea) are pinned: they must match what the pre-refactor
 	// runtime drew so existing seeded runs stay bit-identical.
 	Seed int64
+	// Synthesis selects the block synthesis path; the zero value is the
+	// phasor reference path. The field realization, buoy seeds and noise
+	// streams are identical in both modes — only the ambient-sea series
+	// synthesis differs, within the documented tolerance.
+	Synthesis SynthesisMode
+	// SpectralWindow overrides the spectral chunk length (power of two;
+	// 0 selects the ocean package default of 1024 samples). Ignored in
+	// phasor mode.
+	SpectralWindow int
 }
 
+// cullFraction sets the culling floors as a fraction of one ADC count: a
+// model or component bundle whose whole contribution stays below a quarter
+// count cannot move any quantized sample beyond the rounding it already
+// suffers, keeping the spectral mode inside the half-count equivalence
+// contract with margin.
+const cullFraction = 0.25
+
 // synthNode is one node's synthesis state: its sensor (buoy + noise
-// stream) and the reusable block scratch. Each is touched by exactly one
-// goroutine per batch.
+// stream), the reusable block scratch, and — in spectral mode — the node's
+// own composite model headed by its spectral stream. Each is touched by
+// exactly one goroutine per batch.
 type synthNode struct {
-	sens *sensor.Sensor
-	bufs sensor.BlockBuffers
+	sens  *sensor.Sensor
+	bufs  sensor.BlockBuffers
+	model sensor.Composite // spectral mode only; phasor mode shares Synthetic.model
 }
 
 // Synthetic synthesizes every node's samples from a composite surface
 // model: the ambient ocean field plus any number of ship wakes. It is the
 // extracted sample-production half of the old monolithic sid.Runtime.
+//
+// In phasor mode (the zero SynthesisMode) all nodes share one model slice;
+// in spectral mode each node's model starts with its own SpectralStream
+// over the shared SpectralPlan, and wake models appended by AddSource are
+// culled per node-block via their Bounds.
 type Synthetic struct {
-	rate  float64
-	scale float64
-	model sensor.Composite
-	nodes []synthNode
+	rate    float64
+	scale   float64
+	mode    SynthesisMode
+	model   sensor.Composite
+	nodes   []synthNode
+	plan    *ocean.SpectralPlan // spectral mode only
+	perNode bool
 }
 
 // NewSynthetic builds the ocean field and one sensor per node.
@@ -105,6 +167,9 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 	}
 	if cfg.Hs <= 0 || cfg.Tp <= 0 {
 		return nil, fmt.Errorf("source: Hs and Tp must be positive, got %g, %g", cfg.Hs, cfg.Tp)
+	}
+	if cfg.Synthesis != SynthPhasor && cfg.Synthesis != SynthSpectral {
+		return nil, fmt.Errorf("source: unknown synthesis mode %d", int(cfg.Synthesis))
 	}
 	accel := cfg.Accel
 	if accel == (sensor.AccelConfig{}) {
@@ -121,8 +186,30 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 	s := &Synthetic{
 		rate:  accel.SampleRate,
 		scale: accel.CountsPerG,
+		mode:  cfg.Synthesis,
 		model: sensor.Composite{field},
 		nodes: make([]synthNode, 0, len(cfg.Positions)),
+	}
+	cull := sensor.CullThresholds{
+		Accel: cullFraction * ocean.Gravity / accel.CountsPerG,
+		Slope: cullFraction / accel.CountsPerG,
+	}
+	if cfg.Synthesis == SynthSpectral {
+		s.perNode = true
+		s.plan, err = ocean.NewSpectralPlan(field, ocean.SpectralConfig{
+			Rate:   accel.SampleRate,
+			Window: cfg.SpectralWindow,
+			// Tolerances: half a count, the phasor-equivalence contract.
+			TolAccel: 0.5 * ocean.Gravity / accel.CountsPerG,
+			TolSlope: 0.5 / accel.CountsPerG,
+			// Component culling spends half of the cull budget; wake
+			// culling at the sensor spends the other half independently.
+			CullAccel: 0.5 * cull.Accel,
+			CullSlope: 0.5 * cull.Slope,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Buoy seeds come from the "sid.nodes" stream in node order — the same
 	// stream, same draws, as the pre-source runtime construction.
@@ -137,7 +224,18 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.nodes = append(s.nodes, synthNode{sens: sens})
+		node := synthNode{sens: sens}
+		if s.perNode {
+			var stream *ocean.SpectralStream
+			if cfg.DriftRadius > 0 {
+				stream = s.plan.NewMovingStream(buoy.Position)
+			} else {
+				stream = s.plan.NewStream(pos)
+			}
+			node.model = sensor.Composite{stream}
+			sens.SetCullThresholds(cull)
+		}
+		s.nodes = append(s.nodes, node)
 	}
 	return s, nil
 }
@@ -151,19 +249,65 @@ func (s *Synthetic) Scale() float64 { return s.scale }
 // NumNodes implements Source.
 func (s *Synthetic) NumNodes() int { return len(s.nodes) }
 
+// Synthesis returns the active synthesis mode.
+func (s *Synthetic) Synthesis() SynthesisMode { return s.mode }
+
 // Block implements Source: the node's sensor synthesizes n samples from
-// the composite model, reusing the node's scratch buffers. idx is unused —
-// synthesis is a pure function of (t0, n) and the node's sequential noise
-// stream.
+// the node's model (phasor mode: the shared composite; spectral mode: the
+// node's own stream-headed composite), reusing the node's scratch buffers.
+// idx is unused — synthesis is a pure function of (t0, n) and the node's
+// sequential noise stream.
 func (s *Synthetic) Block(node, idx int, t0 float64, n int) []sensor.Sample {
 	ns := &s.nodes[node]
-	return ns.sens.SampleBlock(s.model, t0, n, &ns.bufs)
+	model := s.model
+	if s.perNode {
+		model = ns.model
+	}
+	return ns.sens.SampleBlock(model, t0, n, &ns.bufs)
 }
 
 // AddSource implements Appender: the model superposes linearly, so ship
 // wakes (or any surface disturbance) stack onto the ambient sea. Call only
 // between pipeline runs — blocks synthesized after the call see the new
-// source.
+// source. In spectral mode the model is appended to every node's composite
+// (each node owns its model so its spectral stream can head it).
 func (s *Synthetic) AddSource(m sensor.SurfaceModel) {
 	s.model = append(s.model, m)
+	if s.perNode {
+		for i := range s.nodes {
+			s.nodes[i].model = append(s.nodes[i].model, m)
+		}
+	}
+}
+
+// SynthesisStats reports the spectral mode's culling effectiveness: how
+// many spectral components the amplitude budget dropped (with the summed
+// amplitudes of everything dropped), and how many per-node wake-block
+// evaluations the sensors skipped out of how many they checked. All zeros
+// in phasor mode.
+type SynthesisStats struct {
+	Mode              SynthesisMode
+	ActiveComponents  int
+	CulledComponents  int
+	CulledAccelSum    float64 // m/s²
+	CulledSlopeSum    float64 // dimensionless
+	WakeBlocksSkipped int64
+	WakeBlocksChecked int64
+}
+
+// SynthesisStats aggregates culling counters across the plan and all node
+// sensors. Call it between pipeline runs (it reads per-node state the
+// workers mutate during a batch).
+func (s *Synthetic) SynthesisStats() SynthesisStats {
+	st := SynthesisStats{Mode: s.mode}
+	if s.plan != nil {
+		st.ActiveComponents = s.plan.NumComponents()
+		st.CulledComponents, st.CulledAccelSum, st.CulledSlopeSum = s.plan.CulledComponents()
+	}
+	for i := range s.nodes {
+		skipped, checked := s.nodes[i].sens.CullStats()
+		st.WakeBlocksSkipped += skipped
+		st.WakeBlocksChecked += checked
+	}
+	return st
 }

@@ -286,6 +286,26 @@ func (f ManeuverField) VerticalAccel(p geo.Vec2, t float64) float64 {
 	return a
 }
 
+// Bounds implements sensor.BoundedModel: the sum of every covering leg's
+// packet bounds over [t0, t1] (superposition bounds superpose), with each
+// leg's slope bound using that leg's generation-speed wavenumber exactly as
+// Slope does.
+func (f ManeuverField) Bounds(p geo.Vec2, t0, t1 float64) (accel, slope float64) {
+	for _, l := range f.M.legs {
+		sig, ok := f.M.legSignal(l, p)
+		if !ok {
+			continue
+		}
+		v := l.speedAtS(l.track.Project(p))
+		theta := thetaFor(v, f.M.Length)
+		k := ocean.WavenumberFor(ocean.FreqForPhaseSpeed(v * math.Cos(theta)))
+		a, s := sig.Bounds(t0, t1, k)
+		accel += a
+		slope += s
+	}
+	return accel, slope
+}
+
 // Slope returns the wake-induced surface slope at p and t, summing each
 // covering leg's contribution along its own away-from-track normal (the
 // same point-local approximation as Field.Slope).

@@ -273,6 +273,47 @@ func (g Signal) VerticalAccel(t float64) float64 {
 	return acc
 }
 
+// Bounds returns conservative upper bounds on |VerticalAccel| (given the
+// wavenumber k the slope model uses) and |Slope| over the window [t0, t1].
+// The packet is a Gaussian envelope times bounded oscillations, so
+//
+//	|accel| ≤ (Amp+TransAmp) · env(u) · (u²/σ⁴ + 1/σ² + ω² + 2ωu/σ²)
+//	|slope| ≤ k · (Amp+TransAmp) · env(u)
+//
+// with u the distance from the packet center and ω the larger angular
+// frequency. env·poly is monotone decreasing for u ≥ 2σ, so the bound is
+// evaluated at the window edge nearest the center; windows closer than 2σ
+// get env = 1 and the polynomial at 2σ, which dominates the whole inner
+// region. The sensor layer uses this to cull wake evaluation per block
+// (see sensor.BoundedModel); wake_test.go verifies the bound dominates the
+// exact signal across the packet.
+func (g Signal) Bounds(t0, t1, k float64) (accel, slope float64) {
+	if g.Sigma <= 0 {
+		return 0, 0
+	}
+	tc := g.Arrival + packetCenterLag*g.Sigma
+	var ug float64 // distance from [t0, t1] to the packet center
+	switch {
+	case t1 < tc:
+		ug = tc - t1
+	case t0 > tc:
+		ug = t0 - tc
+	}
+	s2 := g.Sigma * g.Sigma
+	ampSum := g.Amp + g.TransAmp
+	wmax := 2 * math.Pi * math.Max(g.Freq, g.TransFreq)
+	ue, env := ug, 1.0
+	if ug < 2*g.Sigma {
+		ue = 2 * g.Sigma
+	} else {
+		env = math.Exp(-ug * ug / (2 * s2))
+	}
+	poly := ue*ue/(s2*s2) + 1/s2 + wmax*wmax + 2*wmax*ue/s2
+	accel = ampSum * env * poly
+	slope = k * ampSum * math.Exp(-ug*ug/(2*s2))
+	return accel, slope
+}
+
 // Field adapts a Ship into a position-dependent acceleration source with
 // the same interface shape as ocean.Field, for composition by the sensor
 // model.
@@ -297,6 +338,14 @@ func (f Field) VerticalAccel(p geo.Vec2, t float64) float64 {
 func (f Field) Slope(p geo.Vec2, t float64) geo.Vec2 {
 	e := f.Ship.SignalAt(p).Elevation(t)
 	return f.slopeNormal(p).Scale(ocean.WavenumberFor(f.Ship.WakeFreq()) * e)
+}
+
+// Bounds implements sensor.BoundedModel: conservative upper bounds on the
+// wake's |VerticalAccel| and |Slope| at p over [t0, t1], letting the sensor
+// skip the per-sample evaluation for blocks the packet provably cannot
+// reach above the quantization floor.
+func (f Field) Bounds(p geo.Vec2, t0, t1 float64) (accel, slope float64) {
+	return f.Ship.SignalAt(p).Bounds(t0, t1, ocean.WavenumberFor(f.Ship.WakeFreq()))
 }
 
 // slopeNormal is the unit direction the wake slope points along at p: away

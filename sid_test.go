@@ -87,3 +87,29 @@ func TestIntruderDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeploymentSpectralSynthesis: the facade's SpectralSynthesis knob must
+// run end-to-end and still detect the intruder. The count-level equivalence
+// against the phasor path is pinned in internal/source and
+// internal/scenario; here we only require the public wiring to work.
+func TestDeploymentSpectralSynthesis(t *testing.T) {
+	cfg := DefaultDeployment()
+	cfg.Seed = 42
+	cfg.SpectralSynthesis = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.AddIntruder(Intruder{SpeedKnots: 10, CrossAt: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Detections()) == 0 {
+		t.Fatalf("spectral deployment missed the intruder (stats %+v)", dep.Stats())
+	}
+}
