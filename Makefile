@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet fmt baseline bench-check obs replay
+.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -34,6 +34,13 @@ replay:
 	$(GO) run ./cmd/sidtrace record -scenario single-10kn -dir $(REPLAY_TMP)
 	$(GO) run ./cmd/sidtrace replay -dir $(REPLAY_TMP) -verify
 	@rm -rf $(REPLAY_TMP)
+
+# Paired-seed byzantine sweep behind docs/RESILIENCE.md's threat-model
+# table: detection per compromised-node fraction, undefended vs defended
+# arms on identical seeds. The adversarial golden scenarios themselves ride
+# the regular test target (TestAdversarialGoldenCorpus).
+adversarial:
+	$(GO) run ./cmd/sidbench -exp adversarial
 
 # Regenerates the machine-readable perf baseline (BENCH_baseline.json).
 # Pinned to GOMAXPROCS=2 so the Workers fan-out is exercised and recorded

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,scenarios,fleet or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
@@ -224,6 +224,36 @@ func main() {
 		fmt.Printf("resilient: baseline %.0f%%, worst %.0f%%; fire+forget: baseline %.0f%%, worst %.0f%%\n",
 			100*s.ResilientBaseline, 100*s.ResilientWorst,
 			100*s.UnreliableBaseline, 100*s.UnreliableWorst)
+		return nil
+	})
+
+	run("adversarial", func() error {
+		cfg := eval.DefaultAdversarialConfig()
+		cfg.Seed = *seed
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		points, err := eval.Adversarial(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("detection under byzantine report injection (%d trials/point, paired seeds)\n", cfg.Trials)
+		fmt.Printf("%6s %11s | %7s %8s | %9s %9s %11s\n",
+			"byz", "arm", "detect", "false/tr", "injected", "rejected", "quarantined")
+		for _, p := range points {
+			arm := "undefended"
+			if p.Defended {
+				arm = "defended"
+			}
+			fmt.Printf("%5.0f%% %11s | %6.0f%% %8.2f | %9d %9d %11d\n",
+				100*p.ByzFrac, arm, 100*p.DetectionRatio, p.FalseAlarmRate,
+				p.Injected, p.Rejected, p.Quarantined)
+		}
+		s := eval.SummarizeAdversarial(points)
+		fmt.Printf("honest: detect %.0f%%, false alarms %.2f/trial; at %.0f%% byzantine: defended %.0f%% (false %.2f/trial), undefended %.0f%%\n",
+			100*s.HonestDetection, s.HonestFalseAlarmRate, 100*s.WorstFrac,
+			100*s.DefendedDetectionAtWorst, s.DefendedFalseAlarmsAtWorst,
+			100*s.UndefendedDetectionAtWorst)
 		return nil
 	})
 

@@ -25,7 +25,37 @@ func runScenarios(goldenDir string, update bool, journalDir, only string) error 
 	}
 	drift := 0
 	matched := false
-	for _, spec := range scenario.Corpus() {
+	// The adversarial family keeps its own golden subdirectory so the two
+	// corpora can be refreshed and reviewed independently.
+	for _, c := range []struct {
+		specs []scenario.Spec
+		dir   string
+	}{
+		{scenario.Corpus(), goldenDir},
+		{scenario.AdversarialCorpus(), scenario.AdversarialGoldenDir(goldenDir)},
+	} {
+		d, m, err := runCorpus(c.specs, c.dir, update, journalDir, only)
+		if err != nil {
+			return err
+		}
+		drift += d
+		matched = matched || m
+	}
+	if only != "" && !matched {
+		return fmt.Errorf("no scenario named %q in either corpus", only)
+	}
+	if drift > 0 {
+		return fmt.Errorf("%d metric(s) drifted outside tolerance", drift)
+	}
+	return nil
+}
+
+// runCorpus executes one golden family against its directory, returning the
+// drift count and whether any scenario matched the -only filter.
+func runCorpus(specs []scenario.Spec, goldenDir string, update bool, journalDir, only string) (int, bool, error) {
+	drift := 0
+	matched := false
+	for _, spec := range specs {
 		if only != "" && spec.Name != only {
 			continue
 		}
@@ -36,7 +66,7 @@ func runScenarios(goldenDir string, update bool, journalDir, only string) error 
 			var err error
 			sink, err = os.Create(filepath.Join(journalDir, spec.Name+".jsonl"))
 			if err != nil {
-				return err
+				return drift, matched, err
 			}
 			j := obs.NewJournal(obs.DefaultJournalCap)
 			j.SetSink(sink)
@@ -46,17 +76,17 @@ func runScenarios(goldenDir string, update bool, journalDir, only string) error 
 		}
 		res, err := scenario.RunWithCollector(spec, col)
 		if err != nil {
-			return err
+			return drift, matched, err
 		}
 		if col != nil {
 			// Close the journal with the final counter state so sidwatch can
 			// print radio totals without a live registry.
 			col.Emit(spec.Duration, obs.KindMetrics, col.Registry().Snapshot())
 			if err := col.Journal().Err(); err != nil {
-				return fmt.Errorf("journal %s: %w", spec.Name, err)
+				return drift, matched, fmt.Errorf("journal %s: %w", spec.Name, err)
 			}
 			if err := sink.Close(); err != nil {
-				return err
+				return drift, matched, err
 			}
 			fmt.Printf("  wrote journal %s (%d events)\n",
 				filepath.Join(journalDir, spec.Name+".jsonl"), col.Journal().Total())
@@ -79,25 +109,19 @@ func runScenarios(goldenDir string, update bool, journalDir, only string) error 
 		}
 		if update {
 			if err := scenario.WriteGolden(goldenDir, res); err != nil {
-				return err
+				return drift, matched, err
 			}
 			fmt.Printf("  wrote %s\n", scenario.GoldenPath(goldenDir, res.Name))
 			continue
 		}
 		want, err := scenario.LoadGolden(goldenDir, spec.Name)
 		if err != nil {
-			return fmt.Errorf("no golden for %q (run with -update to create): %w", spec.Name, err)
+			return drift, matched, fmt.Errorf("no golden for %q (run with -update to create): %w", spec.Name, err)
 		}
 		for _, viol := range scenario.Diff(want, res) {
 			fmt.Printf("  DRIFT: %s\n", viol)
 			drift++
 		}
 	}
-	if only != "" && !matched {
-		return fmt.Errorf("no scenario named %q in the corpus", only)
-	}
-	if drift > 0 {
-		return fmt.Errorf("%d metric(s) drifted outside tolerance", drift)
-	}
-	return nil
+	return drift, matched, nil
 }

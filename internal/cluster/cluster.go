@@ -164,6 +164,62 @@ type Result struct {
 	Detected bool
 }
 
+// Dedup collapses multiple reports carrying the same node ID into one:
+// the highest-energy entry survives and keeps the earliest onset among the
+// duplicates (the same merge rule a head applies when a node re-crosses the
+// threshold). The SID head already deduplicates at collection time, but
+// reports reaching Evaluate through other paths — a replay attack that
+// slips a stale duplicate past a head, or a caller assembling reports by
+// hand — must not double-count in the per-row products of eqs. 10 and 12:
+// a duplicated report is always order-consistent with itself, so dup
+// inflation biases C upward. Order is preserved (first occurrence wins the
+// slot).
+func Dedup(reports []Report) []Report {
+	seen := make(map[int]int, len(reports)) // node → index in out
+	out := make([]Report, 0, len(reports))
+	for _, r := range reports {
+		i, dup := seen[r.Node]
+		if !dup {
+			seen[r.Node] = len(out)
+			out = append(out, r)
+			continue
+		}
+		cur := &out[i]
+		if r.Energy > cur.Energy {
+			cur.Energy = r.Energy
+			cur.Pos = r.Pos
+			cur.Row = r.Row
+		}
+		if r.Onset < cur.Onset {
+			cur.Onset = r.Onset
+		}
+	}
+	return out
+}
+
+// DedupAtomic deduplicates per node keeping each node's single
+// highest-energy report as an atomic (onset, energy) pair. Unlike Dedup it
+// never combines the earliest onset of one report with the energy of
+// another — the byzantine-tolerant path uses it so a low-energy fabricated
+// report cannot retroactively rewrite an honest report's onset (see
+// EvaluateRobust). Order is preserved (first occurrence wins the slot).
+func DedupAtomic(reports []Report) []Report {
+	seen := make(map[int]int, len(reports)) // node → index in out
+	out := make([]Report, 0, len(reports))
+	for _, r := range reports {
+		i, dup := seen[r.Node]
+		if !dup {
+			seen[r.Node] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.Energy > out[i].Energy {
+			out[i] = r
+		}
+	}
+	return out
+}
+
 // Evaluate computes the correlation coefficient over a set of reports.
 // The travel line is not observed directly; the head evaluates a small set
 // of candidate lines — the energy-weighted total-least-squares fit plus
@@ -171,10 +227,14 @@ type Result struct {
 // the best-correlating one (a maximum-correlation estimate). A true ship
 // pass scores high under its own line; random false alarms score low under
 // every candidate.
+//
+// Reports sharing a node ID are deduplicated first (see Dedup): one buoy is
+// one witness, however many times it reported.
 func Evaluate(reports []Report, cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	reports = Dedup(reports)
 	if len(reports) == 0 {
 		return Result{}, fmt.Errorf("cluster: no reports to evaluate")
 	}

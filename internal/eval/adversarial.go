@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"math"
+
+	"github.com/sid-wsn/sid/internal/adversary"
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/scenario"
+)
+
+// Adversarial measures how detection degrades under byzantine report
+// injection, with and without the head-side defenses. Like the resilience
+// sweep, every comparison is paired: the defended and undefended arms run
+// the same seeds, the same sea, the same ship, and the same attack plan —
+// the defense layer is the only difference. This is the experiment behind
+// the threat-model section of docs/RESILIENCE.md.
+
+// AdversarialConfig parametrizes the sweep.
+type AdversarialConfig struct {
+	// Grid is the deployment (6×6 at 25 m by default).
+	Grid geo.GridSpec
+	// ByzFracs is the compromised-node fraction sweep (the sink is never
+	// compromised).
+	ByzFracs []float64
+	// Trials is the number of seeds per sweep point, shared between arms.
+	Trials int
+	// SpeedKn is the intruder speed in knots.
+	SpeedKn float64
+	// Seed drives everything.
+	Seed int64
+}
+
+// DefaultAdversarialConfig returns the sweep reported in RESILIENCE.md.
+func DefaultAdversarialConfig() AdversarialConfig {
+	return AdversarialConfig{
+		Grid:     geo.GridSpec{Rows: 6, Cols: 6, Spacing: 25},
+		ByzFracs: []float64{0, 0.1, 0.2, 0.3},
+		Trials:   3,
+		SpeedKn:  10,
+		Seed:     1,
+	}
+}
+
+// AdversarialPoint is one cell of the sweep: a (byzantine fraction,
+// defense arm) pair aggregated over trials.
+type AdversarialPoint struct {
+	ByzFrac  float64
+	Defended bool
+	Trials   int
+	// Detected counts trials where the intruder was confirmed at the sink
+	// (confirmations attributed to the ship's sweep window).
+	Detected int
+	// FalseConfirms totals confirmations attributable to no vessel.
+	FalseConfirms int
+	// Injected, Rejected and Quarantined total the attack volume and the
+	// defense's reaction across trials (Rejected/Quarantined are zero for
+	// the undefended arm by construction).
+	Injected, Rejected, Quarantined int
+	// DetectionRatio is Detected/Trials; FalseAlarmRate is FalseConfirms
+	// per trial.
+	DetectionRatio, FalseAlarmRate float64
+}
+
+// Adversarial runs the sweep: every byzantine fraction twice — undefended
+// and defended — over the same per-trial seeds. The attack is the
+// fabrication campaign: compromised nodes inject plausible reports
+// throughout the genuine pass's collection windows, dragging the
+// correlation gates down.
+func Adversarial(cfg AdversarialConfig) ([]AdversarialPoint, error) {
+	if len(cfg.ByzFracs) == 0 || cfg.Trials <= 0 {
+		return nil, errf("Adversarial: byzantine fractions and trials must be non-empty/positive")
+	}
+	if cfg.Grid.Rows == 0 {
+		cfg.Grid = DefaultAdversarialConfig().Grid
+	}
+	var out []AdversarialPoint
+	for _, frac := range cfg.ByzFracs {
+		for _, defended := range []bool{false, true} {
+			pt := AdversarialPoint{ByzFrac: frac, Defended: defended, Trials: cfg.Trials}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.Seed + int64(trial)*7919 + int64(frac*1000)*131
+				res, err := adversarialTrial(cfg, frac, defended, seed)
+				if err != nil {
+					return nil, err
+				}
+				if len(res.Ships) == 1 && res.Ships[0].Detected {
+					pt.Detected++
+				}
+				pt.FalseConfirms += res.FalseConfirms
+				pt.Injected += res.Injected
+				pt.Rejected += res.Rejected
+				pt.Quarantined += res.Quarantined
+			}
+			pt.DetectionRatio = float64(pt.Detected) / float64(pt.Trials)
+			pt.FalseAlarmRate = float64(pt.FalseConfirms) / float64(pt.Trials)
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// adversarialTrial runs one full deployment through the scenario engine
+// (which attributes confirmations to the ship's ground truth): crossing
+// arrives ~150 s, fabrication campaign covers the collection windows of
+// the pass, victims chosen deterministically per seed.
+func adversarialTrial(cfg AdversarialConfig, frac float64, defended bool, seed int64) (*scenario.Result, error) {
+	center := cfg.Grid.Center()
+	spec := scenario.Spec{
+		Name: "adv-trial",
+		Rows: cfg.Grid.Rows, Cols: cfg.Grid.Cols, SpacingM: cfg.Grid.Spacing,
+		Duration: 450,
+		Seed:     seed,
+		Defense:  defended,
+		Ships: []scenario.ShipSpec{{
+			Name: "intruder", EnterAt: 85,
+			Waypoints: []scenario.WaypointSpec{
+				{X: center.X + cfg.Grid.Spacing/2, Y: -250, SpeedKn: cfg.SpeedKn},
+				{X: center.X + cfg.Grid.Spacing/2, Y: center.Y + 300, SpeedKn: cfg.SpeedKn},
+			},
+		}},
+	}
+	if frac > 0 {
+		spec.Adversary = adversary.Plan{
+			Byzantine: adversary.ByzantineFraction(cfg.Grid.NumNodes(), frac,
+				adversary.ByzantineNode{
+					Behavior: adversary.Fabricate,
+					Start:    150, Period: 12, Count: 10, EnergyBase: 180,
+				}, seed, 0),
+		}
+	}
+	return scenario.Run(spec)
+}
+
+// AdversarialSummary condenses a sweep into the acceptance numbers: the
+// honest (no-attack) baselines and each arm's behavior at the heaviest
+// attacked fraction.
+type AdversarialSummary struct {
+	// HonestDetection and HonestFalseAlarmRate are the undefended,
+	// unattacked baselines.
+	HonestDetection, HonestFalseAlarmRate float64
+	// WorstFrac is the largest attacked fraction in the sweep; the At
+	// fields read that cell.
+	WorstFrac float64
+	// DefendedDetectionAtWorst / UndefendedDetectionAtWorst are each arm's
+	// detection ratios at WorstFrac; likewise the false-alarm rates.
+	DefendedDetectionAtWorst, UndefendedDetectionAtWorst float64
+	DefendedFalseAlarmsAtWorst                           float64
+}
+
+// SummarizeAdversarial extracts the headline numbers from a sweep.
+func SummarizeAdversarial(points []AdversarialPoint) AdversarialSummary {
+	s := AdversarialSummary{WorstFrac: math.Inf(-1)}
+	for _, p := range points {
+		if p.ByzFrac > s.WorstFrac {
+			s.WorstFrac = p.ByzFrac
+		}
+	}
+	for _, p := range points {
+		switch {
+		case p.ByzFrac == 0 && !p.Defended:
+			s.HonestDetection = p.DetectionRatio
+			s.HonestFalseAlarmRate = p.FalseAlarmRate
+		case p.ByzFrac == s.WorstFrac && p.Defended:
+			s.DefendedDetectionAtWorst = p.DetectionRatio
+			s.DefendedFalseAlarmsAtWorst = p.FalseAlarmRate
+		case p.ByzFrac == s.WorstFrac && !p.Defended:
+			s.UndefendedDetectionAtWorst = p.DetectionRatio
+		}
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+func TestAdversarialShape(t *testing.T) {
+	cfg := AdversarialConfig{
+		Grid:     geo.GridSpec{Rows: 4, Cols: 5, Spacing: 25},
+		ByzFracs: []float64{0, 0.2},
+		Trials:   1,
+		SpeedKn:  10,
+		Seed:     7,
+	}
+	pts, err := Adversarial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two fractions, both arms each.
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	if pts[0].Defended || !pts[1].Defended {
+		t.Errorf("arm order = %v, %v; want undefended then defended", pts[0].Defended, pts[1].Defended)
+	}
+	for _, p := range pts {
+		if p.Trials != 1 {
+			t.Errorf("trials = %d", p.Trials)
+		}
+		if p.ByzFrac == 0 && p.Injected != 0 {
+			t.Errorf("unattacked cell injected %d reports", p.Injected)
+		}
+		if p.ByzFrac > 0 && p.Injected == 0 {
+			t.Errorf("attacked cell (frac %g, defended %v) injected nothing", p.ByzFrac, p.Defended)
+		}
+		if !p.Defended && (p.Rejected != 0 || p.Quarantined != 0) {
+			t.Errorf("undefended cell rejected %d / quarantined %d", p.Rejected, p.Quarantined)
+		}
+	}
+	// The unattacked crossing must be detected by both arms.
+	if pts[0].DetectionRatio != 1 || pts[1].DetectionRatio != 1 {
+		t.Errorf("honest detection = %v / %v, want 1 / 1", pts[0].DetectionRatio, pts[1].DetectionRatio)
+	}
+	s := SummarizeAdversarial(pts)
+	if s.HonestDetection != 1 {
+		t.Errorf("summary honest detection = %v", s.HonestDetection)
+	}
+	if s.WorstFrac != 0.2 {
+		t.Errorf("summary worst frac = %v", s.WorstFrac)
+	}
+}
+
+func TestAdversarialValidation(t *testing.T) {
+	if _, err := Adversarial(AdversarialConfig{}); err == nil {
+		t.Error("empty config should error")
+	}
+}

@@ -71,11 +71,17 @@ func (b BurstLoss) MeanLoss() float64 {
 }
 
 func (b BurstLoss) validate() error {
-	if b.MeanGoodS <= 0 || b.MeanBadS <= 0 {
-		return fmt.Errorf("fault: burst sojourn means must be positive, got %g, %g", b.MeanGoodS, b.MeanBadS)
+	if b.MeanGoodS <= 0 {
+		return fmt.Errorf("fault: Burst.MeanGoodS = %g, must be positive", b.MeanGoodS)
 	}
-	if b.LossGood < 0 || b.LossGood >= 1 || b.LossBad < 0 || b.LossBad > 1 {
-		return fmt.Errorf("fault: burst loss probabilities out of range: good %g, bad %g", b.LossGood, b.LossBad)
+	if b.MeanBadS <= 0 {
+		return fmt.Errorf("fault: Burst.MeanBadS = %g, must be positive", b.MeanBadS)
+	}
+	if b.LossGood < 0 || b.LossGood >= 1 {
+		return fmt.Errorf("fault: Burst.LossGood = %g, must be in [0,1)", b.LossGood)
+	}
+	if b.LossBad < 0 || b.LossBad > 1 {
+		return fmt.Errorf("fault: Burst.LossBad = %g, must be in [0,1]", b.LossBad)
 	}
 	return nil
 }
@@ -96,36 +102,33 @@ func (p Plan) Empty() bool {
 	return len(p.Crashes) == 0 && len(p.Depletions) == 0 && len(p.ClockSteps) == 0 && p.Burst == nil
 }
 
-// Validate checks the plan against a network of n nodes.
+// Validate checks the plan against a network of n nodes. Error messages
+// name the offending entry by slice, index and field (e.g.
+// "Crashes[2].Node") so a rejected hand-written plan is correctable
+// without a debugger.
 func (p Plan) Validate(n int) error {
-	node := func(id int, what string) error {
-		if id < 0 || id >= n {
-			return fmt.Errorf("fault: %s targets node %d outside [0,%d)", what, id, n)
+	entry := func(list string, i, node int, at float64) error {
+		if node < 0 || node >= n {
+			return fmt.Errorf("fault: %s[%d].Node = %d, outside [0,%d)", list, i, node, n)
+		}
+		if at < 0 {
+			return fmt.Errorf("fault: %s[%d].At = %g, must be ≥ 0", list, i, at)
 		}
 		return nil
 	}
-	for _, c := range p.Crashes {
-		if err := node(c.Node, "crash"); err != nil {
+	for i, c := range p.Crashes {
+		if err := entry("Crashes", i, c.Node, c.At); err != nil {
 			return err
-		}
-		if c.At < 0 {
-			return fmt.Errorf("fault: crash of node %d at negative time %g", c.Node, c.At)
 		}
 	}
-	for _, d := range p.Depletions {
-		if err := node(d.Node, "depletion"); err != nil {
+	for i, d := range p.Depletions {
+		if err := entry("Depletions", i, d.Node, d.At); err != nil {
 			return err
-		}
-		if d.At < 0 {
-			return fmt.Errorf("fault: depletion of node %d at negative time %g", d.Node, d.At)
 		}
 	}
-	for _, s := range p.ClockSteps {
-		if err := node(s.Node, "clock step"); err != nil {
+	for i, s := range p.ClockSteps {
+		if err := entry("ClockSteps", i, s.Node, s.At); err != nil {
 			return err
-		}
-		if s.At < 0 {
-			return fmt.Errorf("fault: clock step of node %d at negative time %g", s.Node, s.At)
 		}
 	}
 	if p.Burst != nil {

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/sid-wsn/sid/internal/geo"
@@ -22,26 +23,57 @@ func testNet(t *testing.T, seed int64) (*wsn.Network, *sim.Scheduler) {
 	return net, sched
 }
 
+// TestPlanValidation walks every rejection path and pins the diagnostic:
+// each message must carry the offending slice, entry index and field name
+// so a rejected hand-written plan is correctable on sight. The network has
+// 6 nodes (2×3 grid).
 func TestPlanValidation(t *testing.T) {
 	net, _ := testNet(t, 1)
-	bad := []Plan{
-		{Crashes: []Crash{{Node: 99, At: 1}}},
-		{Crashes: []Crash{{Node: 0, At: -1}}},
-		{Depletions: []Depletion{{Node: -1, At: 1}}},
-		{ClockSteps: []ClockStep{{Node: 6, At: 1}}},
-		{Burst: &BurstLoss{MeanGoodS: 0, MeanBadS: 1}},
-		{Burst: &BurstLoss{MeanGoodS: 1, MeanBadS: 1, LossGood: 1.0}},
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring the error must contain
+	}{
+		{"crash node too high", Plan{Crashes: []Crash{{Node: 99, At: 1}}}, "Crashes[0].Node = 99"},
+		{"crash node negative", Plan{Crashes: []Crash{{Node: 0, At: 1}, {Node: -1, At: 1}}}, "Crashes[1].Node = -1"},
+		{"crash negative time", Plan{Crashes: []Crash{{Node: 0, At: -1}}}, "Crashes[0].At = -1"},
+		{"depletion node out of range", Plan{Depletions: []Depletion{{Node: -1, At: 1}}}, "Depletions[0].Node = -1"},
+		{"depletion negative time", Plan{Depletions: []Depletion{{Node: 2, At: 1}, {Node: 3, At: -0.5}}}, "Depletions[1].At = -0.5"},
+		{"clock step node out of range", Plan{ClockSteps: []ClockStep{{Node: 6, At: 1}}}, "ClockSteps[0].Node = 6"},
+		{"clock step negative time", Plan{ClockSteps: []ClockStep{{Node: 1, At: -2}}}, "ClockSteps[0].At = -2"},
+		{"burst zero good sojourn", Plan{Burst: &BurstLoss{MeanGoodS: 0, MeanBadS: 1}}, "Burst.MeanGoodS = 0"},
+		{"burst zero bad sojourn", Plan{Burst: &BurstLoss{MeanGoodS: 1, MeanBadS: 0}}, "Burst.MeanBadS = 0"},
+		{"burst good loss at one", Plan{Burst: &BurstLoss{MeanGoodS: 1, MeanBadS: 1, LossGood: 1.0}}, "Burst.LossGood = 1"},
+		{"burst good loss negative", Plan{Burst: &BurstLoss{MeanGoodS: 1, MeanBadS: 1, LossGood: -0.1}}, "Burst.LossGood = -0.1"},
+		{"burst bad loss above one", Plan{Burst: &BurstLoss{MeanGoodS: 1, MeanBadS: 1, LossBad: 1.5}}, "Burst.LossBad = 1.5"},
+		{"burst bad loss negative", Plan{Burst: &BurstLoss{MeanGoodS: 1, MeanBadS: 1, LossBad: -1}}, "Burst.LossBad = -1"},
 	}
-	for i, p := range bad {
-		if err := Apply(p, net); err == nil {
-			t.Errorf("case %d: expected validation error", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Apply(tc.plan, net)
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offending field (want substring %q)", err, tc.want)
+			}
+		})
 	}
 	if !(Plan{}).Empty() {
 		t.Error("zero plan should be empty")
 	}
 	if err := Apply(Plan{}, net); err != nil {
 		t.Errorf("empty plan: %v", err)
+	}
+	// Boundary values that must be accepted.
+	good := Plan{
+		Crashes:    []Crash{{Node: 5, At: 0}},
+		Depletions: []Depletion{{Node: 0, At: 0}},
+		ClockSteps: []ClockStep{{Node: 0, At: 0, Offset: -3}},
+		Burst:      &BurstLoss{MeanGoodS: 1, MeanBadS: 1, LossGood: 0, LossBad: 1},
+	}
+	if err := good.Validate(net.NumNodes()); err != nil {
+		t.Errorf("boundary plan rejected: %v", err)
 	}
 }
 

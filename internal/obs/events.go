@@ -55,6 +55,19 @@ const (
 	// KindSendError is a synchronous send failure the protocol observed
 	// (payload: SendError).
 	KindSendError = "send.error"
+	// KindByzantineInject is a compromised node injecting a fabricated or
+	// replayed report into the protocol (payload: ByzantineInject). Emitted
+	// by the adversary layer, not the defenses — it records ground truth
+	// about the attack, which is what lets a journal reader audit whether
+	// the defenses caught it.
+	KindByzantineInject = "adversary.inject"
+	// KindReportReject is a head's defense layer refusing a report —
+	// quarantined origin, stale or future onset (payload: ReportReject).
+	KindReportReject = "report.reject"
+	// KindSuspicion is a node's suspicion score changing — a freshness
+	// rejection or a trimmed-by-consensus verdict — possibly crossing into
+	// quarantine (payload: Suspicion).
+	KindSuspicion = "defense.suspect"
 	// KindMetrics is a registry snapshot embedded in the journal, usually
 	// once at end of run (payload: Snapshot).
 	KindMetrics = "metrics"
@@ -203,4 +216,32 @@ type ArqDrop struct {
 type SendError struct {
 	Node int    `json:"node"`
 	Err  string `json:"err"`
+}
+
+// ByzantineInject is the payload of KindByzantineInject: one injected
+// report, with the behavior ("fabricate" or "replay") that produced it.
+type ByzantineInject struct {
+	Node     int     `json:"node"`
+	Behavior string  `json:"behavior"`
+	Onset    float64 `json:"onset"`
+	Energy   float64 `json:"energy"`
+}
+
+// ReportReject is the payload of KindReportReject. Reason is one of
+// "quarantined", "stale", "future", or "energy".
+type ReportReject struct {
+	Head   int     `json:"head"`
+	Node   int     `json:"node"`
+	Onset  float64 `json:"onset"`
+	Energy float64 `json:"energy"`
+	Reason string  `json:"reason"`
+}
+
+// Suspicion is the payload of KindSuspicion: a node's updated score after
+// one more piece of evidence, and whether the update quarantined it.
+type Suspicion struct {
+	Node        int    `json:"node"`
+	Score       int    `json:"score"`
+	Reason      string `json:"reason"`
+	Quarantined bool   `json:"quarantined"`
 }

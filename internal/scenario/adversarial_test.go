@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestAdversarialGoldenCorpus pins the adversarial family exactly like
+// TestGoldenCorpus pins the main corpus — counts and booleans exact,
+// floats inside the tolerance bands. Refresh with
+//
+//	go run ./cmd/sidbench -exp scenarios -update
+func TestAdversarialGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus replay is slow")
+	}
+	dir := AdversarialGoldenDir(filepath.Join("testdata", "golden"))
+	for _, spec := range AdversarialCorpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want, err := LoadGolden(dir, spec.Name)
+			if err != nil {
+				t.Fatalf("missing golden (run sidbench -exp scenarios -update): %v", err)
+			}
+			got, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, viol := range Diff(want, got) {
+				t.Errorf("drift: %s", viol)
+			}
+		})
+	}
+}
+
+// TestByzantinePairDefenseRecovers is the corpus's own acceptance check,
+// independent of golden files: on the shared byzantine seed the defended
+// arm must confirm the intruder at the sink.
+func TestByzantinePairDefenseRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trial is slow")
+	}
+	var defended, undefended *Result
+	for _, spec := range AdversarialCorpus() {
+		switch spec.Name {
+		case "adv-byzantine-defended":
+			r, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defended = r
+		case "adv-byzantine-undefended":
+			r, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			undefended = r
+		}
+	}
+	if defended == nil || undefended == nil {
+		t.Fatal("byzantine pair missing from corpus")
+	}
+	if defended.Injected == 0 || undefended.Injected == 0 {
+		t.Fatalf("attack did not fire: injected %d / %d", defended.Injected, undefended.Injected)
+	}
+	if len(defended.Ships) != 1 || !defended.Ships[0].Detected {
+		t.Errorf("defended arm lost the intruder: %+v", defended.Ships)
+	}
+	if defended.FalseConfirms > undefended.FalseConfirms+1 {
+		t.Errorf("defense added false confirms: %d vs %d",
+			defended.FalseConfirms, undefended.FalseConfirms)
+	}
+}

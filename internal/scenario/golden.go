@@ -233,6 +233,9 @@ func Diff(want, got *Result) []string {
 		{"clusters_formed", want.ClustersFormed, got.ClustersFormed},
 		{"cancelled", want.Cancelled, got.Cancelled},
 		{"failovers", want.Failovers, got.Failovers},
+		{"injected", want.Injected, got.Injected},
+		{"rejected", want.Rejected, got.Rejected},
+		{"quarantined", want.Quarantined, got.Quarantined},
 		{"ships", len(want.Ships), len(got.Ships)},
 		{"node_reports", len(want.NodeReports), len(got.NodeReports)},
 	} {

@@ -16,6 +16,7 @@ package scenario
 import (
 	"fmt"
 
+	"github.com/sid-wsn/sid/internal/adversary"
 	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/obs"
@@ -86,6 +87,13 @@ type Spec struct {
 	Ships []ShipSpec
 	// Faults is a deterministic fault plan applied at construction.
 	Faults fault.Plan
+	// Adversary is a deterministic attack plan (byzantine report
+	// injection, smooth clock spoofing) applied at construction.
+	Adversary adversary.Plan
+	// Defense enables the head-side defense layer with its default
+	// settings (freshness gating, trimmed evaluation, suspicion and
+	// quarantine, robust speed fit).
+	Defense bool
 }
 
 // compile lowers the spec onto a sid.Config.
@@ -128,6 +136,10 @@ func (s Spec) compile() (sid.Config, error) {
 		cfg.Failover = sid.DefaultFailoverConfig()
 	}
 	cfg.Faults = s.Faults
+	cfg.Adversary = s.Adversary
+	if s.Defense {
+		cfg.Defense = sid.DefaultDefenseConfig()
+	}
 	cfg.Workers = s.Workers
 	if s.Spectral {
 		cfg.Synthesis = source.SynthSpectral

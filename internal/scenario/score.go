@@ -64,6 +64,12 @@ type Result struct {
 	ClustersFormed int `json:"clusters_formed"`
 	Cancelled      int `json:"cancelled"`
 	Failovers      int `json:"failovers"`
+	// Adversary/defense tallies (zero for unattacked trials): byzantine
+	// reports injected, reports the defense layer refused, nodes in
+	// quarantine at end of run.
+	Injected    int `json:"injected,omitempty"`
+	Rejected    int `json:"rejected,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 	// NodeReports is the per-node detection stream in event order.
 	NodeReports []TraceReport `json:"node_reports"`
 	// Sink is the raw confirmation stream as received at the sink, in
@@ -133,6 +139,9 @@ func score(spec Spec, cfg sid.Config, rt *sid.Runtime, ships []*wake.Maneuver) *
 		ClustersFormed: rt.ClustersFormed(),
 		Cancelled:      rt.Cancelled(),
 		Failovers:      rt.Failovers(),
+		Injected:       rt.InjectedReports(),
+		Rejected:       rt.RejectedReports(),
+		Quarantined:    len(rt.QuarantinedNodes()),
 		Sink:           append([]sid.SinkReport(nil), rt.SinkReports()...),
 	}
 	for i, m := range ships {

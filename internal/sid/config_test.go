@@ -53,7 +53,7 @@ func TestConfigValidation(t *testing.T) {
 		}, "outside"},
 		{"fault negative time", func(c *Config) {
 			c.Faults.Crashes = []fault.Crash{{Node: 1, At: -5}}
-		}, "negative time"},
+		}, "Crashes[0].At"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

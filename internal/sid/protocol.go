@@ -75,6 +75,17 @@ func (r *Runtime) onNodeDetection(ns *nodeState, node *wsn.Node, rep detect.Repo
 			Energy: payload.Energy, AF: rep.AnomalyFreq,
 		})
 	}
+	r.dispatchReport(ns, payload)
+}
+
+// dispatchReport is the protocol reaction to a report originating at ns —
+// report to the current head, accept locally when ns is the head, or set up
+// a temporary cluster. Factored out of onNodeDetection because byzantine
+// injection (adversary.go) must travel the same path as a genuine
+// detection: the attack's radio traffic, cluster formations, and sink load
+// are real.
+func (r *Runtime) dispatchReport(ns *nodeState, payload ReportPayload) {
+	now := r.sched.Now()
 	if ns.inTempCluster && now < ns.membership {
 		if ns.isHead {
 			r.acceptReport(ns, payload)
@@ -195,6 +206,12 @@ const eventGap = 15.0
 // exceeds the threshold", which is the wake-front arrival the speed
 // estimator needs.
 func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
+	if r.cfg.Defense.Enabled {
+		if ok, reason := r.defenseAdmit(head, p); !ok {
+			r.rejectReport(head, p, reason)
+			return
+		}
+	}
 	head.lastReportAt = r.sched.Now()
 	if r.col.Journaling() {
 		first := true
@@ -212,6 +229,20 @@ func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
 	for i := range head.reports {
 		if head.reports[i].Node == int(p.Node) {
 			cur := &head.reports[i]
+			if r.cfg.Defense.Enabled {
+				// Atomic merge: a defended head keeps the (onset, energy)
+				// pair of the strongest report as a unit. The permissive
+				// earliest-onset rule below lets a low-energy fabrication
+				// near the genuine event drag an honest witness's onset to
+				// the attacker's chosen time; binding onset to the report
+				// that carries the energy removes that lever at the cost of
+				// a slightly later (strongest-window) onset estimate.
+				if p.Energy > cur.Energy {
+					cur.Energy = p.Energy
+					cur.Onset = p.Onset
+				}
+				return
+			}
 			sameEvent := math.Abs(p.Onset-cur.Onset) < eventGap
 			switch {
 			case p.Energy > cur.Energy && sameEvent:
@@ -300,9 +331,25 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		return
 	}
 	stop := r.col.Profiler().Start("cluster")
-	res, err := cluster.Evaluate(reports, r.cfg.Cluster)
+	evalReports := reports
+	var trimmed []int
+	var res cluster.Result
+	var err error
+	if r.cfg.Defense.Enabled {
+		// Byzantine-tolerant path: trim up to MaxTrimFrac of the reports
+		// when the full set fails the gates. Only a detecting trimmed
+		// evaluation accuses anyone.
+		robust, rerr := cluster.EvaluateRobust(reports, r.cfg.Cluster, r.cfg.Defense.MaxTrimFrac)
+		res, err = robust.Result, rerr
+		trimmed = robust.Trimmed
+		evalReports = robust.Kept
+	} else {
+		res, err = cluster.Evaluate(reports, r.cfg.Cluster)
+	}
 	stop()
-	r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports, Result: res, Err: err})
+	r.evaluations = append(r.evaluations, Evaluation{
+		Head: ns.id, Reports: reports, Result: res, Err: err, Trimmed: trimmed,
+	})
 	if err == nil {
 		r.cHist.Observe(res.C)
 	}
@@ -323,20 +370,38 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		r.ctr.cancelled.Inc()
 		return
 	}
+	// Nodes trimmed out of a confirming evaluation contradicted a real
+	// event's space-time structure — that is evidence, and it accumulates.
+	for _, id := range trimmed {
+		r.suspect(id, "trimmed")
+	}
 	sink := SinkReport{
 		Head:      ns.id,
 		C:         res.C,
-		Reports:   len(reports),
-		MeanOnset: cluster.MeanOnset(reports),
+		Reports:   len(evalReports),
+		MeanOnset: cluster.MeanOnset(evalReports),
 	}
 	// Ship speed condition: four suitable detections around the travel
-	// line (§IV-C2).
-	dets := make([]speed.Detection, len(reports))
-	for i, rep := range reports {
+	// line (§IV-C2). The defended path fits only the kept reports and uses
+	// the leave-one-out estimator, which survives one spoofed timestamp.
+	dets := make([]speed.Detection, len(evalReports))
+	for i, rep := range evalReports {
 		dets[i] = speed.Detection{Pos: rep.Pos, Time: rep.Onset, Energy: rep.Energy}
 	}
 	stop = r.col.Profiler().Start("speed")
-	est, fits, estErr := speed.EstimateFromDetectionsTrace(dets, res.TravelLine, r.cfg.Grid.Spacing)
+	var est speed.Estimate
+	var fits []speed.CandidateFit
+	var estErr error
+	if r.cfg.Defense.Enabled && r.cfg.Defense.RobustSpeed {
+		var robust speed.RobustEstimate
+		robust, estErr = speed.RobustFromDetections(dets, res.TravelLine, r.cfg.Grid.Spacing)
+		est = robust.Estimate
+		if estErr == nil && robust.Dropped >= 0 && robust.Dropped < len(evalReports) {
+			r.suspect(evalReports[robust.Dropped].Node, "speed-outlier")
+		}
+	} else {
+		est, fits, estErr = speed.EstimateFromDetectionsTrace(dets, res.TravelLine, r.cfg.Grid.Spacing)
+	}
 	stop()
 	if r.col.Journaling() {
 		for _, fit := range fits {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/sid-wsn/sid/internal/adversary"
 	"github.com/sid-wsn/sid/internal/cluster"
 	"github.com/sid-wsn/sid/internal/detect"
 	"github.com/sid-wsn/sid/internal/fault"
@@ -58,6 +59,16 @@ type Config struct {
 	// depletion, clock steps, burst loss) applied at construction. The
 	// zero value injects nothing.
 	Faults fault.Plan
+	// Adversary is a deterministic attack plan (byzantine report
+	// injection, smooth clock spoofing) applied at construction. The zero
+	// value attacks nothing. Unlike Faults, compromised nodes lie rather
+	// than fail — see internal/adversary.
+	Adversary adversary.Plan
+	// Defense configures the head-side defenses (freshness gating, trimmed
+	// evaluation, suspicion/quarantine, robust speed fit). The zero value
+	// disables them, keeping runs bit-identical to the undefended
+	// protocol.
+	Defense DefenseConfig
 	// ClusterHops is the temporary-cluster radius (6 in Algorithm SID).
 	ClusterHops int
 	// CollectWindow is how long a head collects reports before evaluating,
@@ -189,7 +200,13 @@ func (c Config) Validate() error {
 	if err := c.Failover.validate(); err != nil {
 		return err
 	}
-	return c.Faults.Validate(c.Grid.NumNodes())
+	if err := c.Faults.Validate(c.Grid.NumNodes()); err != nil {
+		return err
+	}
+	if err := c.Adversary.Validate(c.Grid.NumNodes()); err != nil {
+		return err
+	}
+	return c.Defense.validate()
 }
 
 // nodeState is the per-node SID protocol state (Algorithm SID's variables).
@@ -250,6 +267,12 @@ type Runtime struct {
 	nodeReports []NodeReport
 	evaluations []Evaluation
 
+	// suspicion and quarantined are the defense layer's per-node ledger
+	// (defense.go); allocated even when defenses are off so accessors are
+	// always safe.
+	suspicion   []int
+	quarantined []bool
+
 	// col is the observability collector; ctr caches its registry counter
 	// handles (the source of truth for the protocol tallies); cHist is the
 	// correlation-coefficient histogram.
@@ -266,6 +289,10 @@ type sidCounters struct {
 	failovers      *obs.Counter
 	deadlineExt    *obs.Counter
 	sendErrors     *obs.Counter
+	injections     *obs.Counter
+	rejected       *obs.Counter
+	suspicions     *obs.Counter
+	quarantines    *obs.Counter
 }
 
 // clusterCBounds buckets the correlation coefficient C ∈ [0,1] around the
@@ -280,6 +307,10 @@ func (r *Runtime) bindCounters() {
 		failovers:      reg.Counter("sid.failovers"),
 		deadlineExt:    reg.Counter("sid.deadline_extensions"),
 		sendErrors:     reg.Counter("sid.send_errors"),
+		injections:     reg.Counter("adversary.injections"),
+		rejected:       reg.Counter("defense.rejected"),
+		suspicions:     reg.Counter("defense.suspicions"),
+		quarantines:    reg.Counter("defense.quarantined"),
 	}
 	r.cHist = reg.Histogram("cluster.c", clusterCBounds)
 }
@@ -431,6 +462,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 			return nil, err
 		}
 	}
+	r.suspicion = make([]int, len(positions))
+	r.quarantined = make([]bool, len(positions))
+	if err := r.applyAdversary(); err != nil {
+		return nil, err
+	}
 	net.EnableTimeSync()
 	if _, err := net.StartTimeSync(tree, 0.5); err != nil {
 		return nil, err
@@ -499,6 +535,9 @@ type Evaluation struct {
 	// Err reports an evaluation failure (e.g. too few reports to fit a
 	// travel line).
 	Err error
+	// Trimmed lists node IDs the defended evaluation excluded to reach a
+	// detection (empty for undefended runs and clean passes).
+	Trimmed []int
 }
 
 // Evaluations returns every cluster-head evaluation so far, in order.

@@ -1,0 +1,96 @@
+package speed
+
+import (
+	"math"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// This file is the clock-spoof defense for the four-timestamp estimator: a
+// leave-one-out (RANSAC-style, but exhaustive and deterministic — the
+// candidate set is tiny) variant of EstimateFromDetections. A smoothly
+// skewed clock shifts its node's reported onset by up to seconds without
+// any step a sanity check could flag; when that node is one of the four
+// the assembly picks, eqs. 14–16 invert the corrupted differences into a
+// grossly wrong speed and heading. The honest detections still obey the
+// arrival law t ≈ t0 + (u·p + dist/tanθ)/v, so the spoofed fit shows up as
+// a large residual sum — and refitting without the one detection whose
+// removal most improves the normalized residual recovers the honest
+// estimate.
+
+// RobustEstimate is the outcome of the leave-one-out fit.
+type RobustEstimate struct {
+	Estimate
+	// Dropped is the index (into the detections slice handed in) of the
+	// excluded detection, or -1 when the full-set fit was kept.
+	Dropped int
+	// FullSSE and BestSSE are the normalized (per-detection) residual sums
+	// of the chosen arrival-law candidate for the full fit and the accepted
+	// fit; FullSSE is +Inf when the full assembly failed outright.
+	FullSSE, BestSSE float64
+}
+
+// looImprovement is how much smaller (relative) a leave-one-out fit's
+// normalized residual must be before it replaces the full fit: dropping a
+// point always helps a little, so only a decisive improvement — the
+// signature of a single corrupted timestamp — justifies discarding a
+// witness.
+const looImprovement = 0.25
+
+// RobustFromDetections runs EstimateFromDetectionsTrace on the full set
+// and, with at least 5 detections (the four-node assembly must survive the
+// exclusion), on every leave-one-out subset. The full fit is kept unless a
+// subset's normalized residual beats it by looImprovement; among subsets,
+// the smallest residual wins, ties going to the smallest excluded index —
+// fully deterministic. When the full fit fails outright (a spoofed onset
+// can break the pair assembly or the positivity constraint), any
+// successful subset fit is accepted.
+func RobustFromDetections(dets []Detection, line geo.Line, d float64) (RobustEstimate, error) {
+	fullEst, fullTrace, fullErr := EstimateFromDetectionsTrace(dets, line, d)
+	full := RobustEstimate{Estimate: fullEst, Dropped: -1, FullSSE: math.Inf(1), BestSSE: math.Inf(1)}
+	if fullErr == nil {
+		full.FullSSE = chosenNormSSE(fullTrace, len(dets))
+		full.BestSSE = full.FullSSE
+	}
+	if len(dets) < 5 {
+		return full, fullErr
+	}
+	best := full
+	sub := make([]Detection, 0, len(dets)-1)
+	for k := range dets {
+		sub = sub[:0]
+		sub = append(sub, dets[:k]...)
+		sub = append(sub, dets[k+1:]...)
+		est, trace, err := EstimateFromDetectionsTrace(sub, line, d)
+		if err != nil {
+			continue
+		}
+		norm := chosenNormSSE(trace, len(sub))
+		if norm < best.BestSSE {
+			best = RobustEstimate{Estimate: est, Dropped: k, FullSSE: full.FullSSE, BestSSE: norm}
+		}
+	}
+	switch {
+	case fullErr != nil && best.Dropped >= 0:
+		// Full assembly broke; a subset rescued the estimate.
+		return best, nil
+	case fullErr != nil:
+		return full, fullErr
+	case best.Dropped >= 0 && best.BestSSE < looImprovement*full.FullSSE:
+		return best, nil
+	default:
+		return full, nil
+	}
+}
+
+// chosenNormSSE extracts the winning candidate's residual sum from a fit
+// trace, normalized per detection so full and leave-one-out fits compare
+// on equal footing. +Inf when no candidate was admissible.
+func chosenNormSSE(trace []CandidateFit, n int) float64 {
+	for _, f := range trace {
+		if f.Chosen {
+			return f.SSE / float64(n)
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,173 @@
+package speed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/wake"
+	"github.com/sid-wsn/sid/internal/wsn"
+)
+
+// gridDetections builds the full-grid detection set used by the estimator
+// tests: every node of a 6×5 grid with the true wake arrival and amplitude.
+func cleanGridDetections(t *testing.T, line geo.Line, v float64) []Detection {
+	t.Helper()
+	ship, err := wake.NewShip(line, v, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := geo.GridSpec{Rows: 6, Cols: 5, Spacing: 25}
+	var dets []Detection
+	for r := 0; r < grid.Rows; r++ {
+		for c := 0; c < grid.Cols; c++ {
+			p := grid.Pos(r, c)
+			sig := ship.SignalAt(p)
+			dets = append(dets, Detection{Pos: p, Time: sig.Arrival, Energy: sig.Amp})
+		}
+	}
+	return dets
+}
+
+func testLine() geo.Line {
+	phi := geo.Deg(15)
+	return geo.NewLine(geo.Vec2{X: 0, Y: 60}, geo.Vec2{X: math.Cos(phi), Y: math.Sin(phi)})
+}
+
+// TestRobustSurvivesSpoofedTimestamp: one node's clock is smoothly skewed
+// (adversary.ClockSpoof semantics — wsn.Clock.Skew accumulating error since
+// sync), its energy boosted so the four-node assembly must pick it. The
+// plain estimator inverts the corrupted difference into a wrong speed; the
+// leave-one-out fit must identify exactly that detection and recover.
+func TestRobustSurvivesSpoofedTimestamp(t *testing.T) {
+	v := geo.Knots(10)
+	line := testLine()
+	dets := cleanGridDetections(t, line, v)
+
+	// Find the highest-energy detection that has a +Y neighbor (a
+	// strongestPair base) and make it the unambiguous pick for its side.
+	spoofed := -1
+	for i, det := range dets {
+		if spoofed >= 0 && dets[spoofed].Energy >= det.Energy {
+			continue
+		}
+		for _, other := range dets {
+			if math.Abs(other.Pos.X-det.Pos.X) < 1e-6 && math.Abs(other.Pos.Y-(det.Pos.Y+25)) < 1e-6 {
+				spoofed = i
+				break
+			}
+		}
+	}
+	if spoofed < 0 {
+		t.Fatal("no pair base found")
+	}
+	dets[spoofed].Energy *= 10
+
+	// A 10000 ppm spoof applied 600 s before the crossing: the clock reads
+	// 6 s ahead by the time the wake arrives, with no step anywhere.
+	var honest, spoofedClock wsn.Clock
+	spoofedClock.Skew(10000, 0)
+	errAt := spoofedClock.Local(600) - honest.Local(600)
+	dets[spoofed].Time += errAt
+
+	plain, plainErr := EstimateFromDetections(dets, line, 25)
+	robust, err := RobustFromDetections(dets, line, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Dropped != spoofed {
+		t.Fatalf("dropped detection %d, want the spoofed %d (fullSSE=%g bestSSE=%g)",
+			robust.Dropped, spoofed, robust.FullSSE, robust.BestSSE)
+	}
+	if relErr := math.Abs(robust.Speed-v) / v; relErr > 0.10 {
+		t.Errorf("robust speed = %v, want %v ± 10%%", robust.Speed, v)
+	}
+	if plainErr == nil {
+		if relErr := math.Abs(plain.Speed-v) / v; relErr < 0.15 {
+			t.Logf("note: plain estimator absorbed the spoof on this geometry (err %.1f%%)", relErr*100)
+		}
+	}
+	if !(robust.BestSSE < robust.FullSSE) {
+		t.Errorf("accepted fit did not improve the residual: full=%g best=%g",
+			robust.FullSSE, robust.BestSSE)
+	}
+}
+
+// TestRobustCleanFitUnchanged: with honest detections the full fit must be
+// kept verbatim — no witness is discarded without decisive evidence.
+func TestRobustCleanFitUnchanged(t *testing.T) {
+	v := geo.Knots(10)
+	line := testLine()
+	dets := cleanGridDetections(t, line, v)
+	plain, err := EstimateFromDetections(dets, line, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := RobustFromDetections(dets, line, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Dropped != -1 {
+		t.Errorf("clean fit dropped detection %d", robust.Dropped)
+	}
+	if robust.Estimate != plain {
+		t.Errorf("robust changed a clean estimate: %+v vs %+v", robust.Estimate, plain)
+	}
+}
+
+// TestRobustTooFewDetections: with only 4 detections there is nothing to
+// leave out — the full fit (or its error) passes through.
+func TestRobustTooFewDetections(t *testing.T) {
+	line := geo.NewLine(geo.Vec2{}, geo.Vec2{X: 1})
+	d := 25.0
+	dets := []Detection{
+		{Pos: geo.Vec2{X: 0, Y: 30}, Time: 1, Energy: 1},
+		{Pos: geo.Vec2{X: 0, Y: 55}, Time: 2, Energy: 1},
+		{Pos: geo.Vec2{X: 50, Y: -55}, Time: 3, Energy: 1},
+		{Pos: geo.Vec2{X: 50, Y: -30}, Time: 3.5, Energy: 1},
+	}
+	robust, err := RobustFromDetections(dets, line, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if robust.Dropped != -1 {
+		t.Errorf("4-detection fit dropped %d", robust.Dropped)
+	}
+	if _, err := RobustFromDetections(dets[:3], line, d); err == nil {
+		t.Error("expected error for 3 detections")
+	}
+}
+
+// TestClockStepDoesNotMirrorHeading is the fault.ClockStep interaction
+// regression: a stepped clock on one of the four assembly nodes perturbs
+// eq. 16 but must not flip the reflection-ambiguity resolution — the
+// candidate arrival-law fit scores ALL detections, so a single corrupted
+// onset cannot mirror the heading across the travel line.
+func TestClockStepDoesNotMirrorHeading(t *testing.T) {
+	v := geo.Knots(10)
+	phi := geo.Deg(15)
+	line := testLine()
+	for _, step := range []float64{-2.5, -1.0, 1.0, 2.5} {
+		dets := cleanGridDetections(t, line, v)
+		// fault.ClockStep semantics: wsn.Clock.Adjust(step) shifts every
+		// subsequent local reading by the step.
+		var c wsn.Clock
+		c.Adjust(step)
+		victim := 7 // interior node; in the assembly's candidate pool
+		dets[victim].Time = c.Local(dets[victim].Time)
+		dets[victim].Energy *= 10 // force it into the four-node pick
+
+		est, err := EstimateFromDetections(dets, line, 25)
+		if err != nil {
+			t.Fatalf("step %+.1f: %v", step, err)
+		}
+		gotA := geo.NormalizeAngle(est.Alpha)
+		if math.Abs(gotA-phi) > geo.Deg(45) {
+			t.Errorf("step %+.1f s: heading mirrored: α = %.1f°, want ≈ %.1f°",
+				step, geo.ToDeg(gotA), geo.ToDeg(phi))
+		}
+		if !est.Forward {
+			t.Errorf("step %+.1f s: Forward flipped", step)
+		}
+	}
+}

@@ -26,3 +26,13 @@ func (c Clock) True(localTime float64) float64 {
 // Adjust applies a correction to the clock offset (what a sync protocol
 // does after estimating the offset to a reference).
 func (c *Clock) Adjust(delta float64) { c.Offset += delta }
+
+// Skew changes the clock's rate by deltaPPM at true time now while keeping
+// Local(now) continuous: readings diverge from true time at the new rate
+// from now on instead of jumping. This is the smooth spoof of an attacker
+// (or a drifting oscillator) that a step detector cannot see, as opposed to
+// the discontinuity Adjust produces.
+func (c *Clock) Skew(deltaPPM, now float64) {
+	c.Offset -= deltaPPM * 1e-6 * now
+	c.DriftPPM += deltaPPM
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/sid-wsn/sid/internal/adversary"
 	"github.com/sid-wsn/sid/internal/fault"
 	"github.com/sid-wsn/sid/internal/geo"
 	"github.com/sid-wsn/sid/internal/sid"
@@ -94,6 +95,71 @@ type Config struct {
 	// battery depletion, clock steps, burst loss). The zero value injects
 	// nothing.
 	Faults FaultPlan
+	// Adversary injects deterministic byzantine behavior (fabricated or
+	// replayed reports, smoothly spoofed clocks). The zero value injects
+	// nothing.
+	Adversary AdversaryPlan
+	// Defense enables the head-side byzantine defenses (report freshness
+	// gating, trimmed robust evaluation, per-node suspicion with
+	// quarantine, leave-one-out speed fitting). Off by default: undefended
+	// runs stay bit-identical to earlier releases.
+	Defense bool
+}
+
+// AdversaryPlan is a declarative, deterministic attack schedule. Identical
+// plans on identical seeds reproduce identical attacks.
+type AdversaryPlan struct {
+	// Byzantine nodes inject fabricated or replayed reports into the
+	// protocol's genuine collection path.
+	Byzantine []ByzantineNode
+	// ClockSpoofs smoothly skew node clocks (no step discontinuity), the
+	// stealthy poisoning of the four-timestamp speed fit.
+	ClockSpoofs []ClockSpoof
+}
+
+// ByzantineNode schedules one compromised node's injection campaign:
+// Count reports starting at Start seconds, Period seconds apart.
+type ByzantineNode struct {
+	Node int
+	// Replay re-sends the node's own last genuine report verbatim;
+	// otherwise the node fabricates plausible fresh reports with energies
+	// around EnergyBase.
+	Replay     bool
+	Start      float64
+	Period     float64
+	Count      int
+	EnergyBase float64
+}
+
+// ClockSpoof skews a node's clock by SkewPPM parts-per-million starting at
+// At seconds, keeping local time continuous — invisible to step detectors,
+// poisonous to timestamp arithmetic.
+type ClockSpoof struct {
+	Node    int
+	At      float64
+	SkewPPM float64
+}
+
+// internalAdversary converts the public attack plan to the internal one.
+func (p AdversaryPlan) internalAdversary() adversary.Plan {
+	var out adversary.Plan
+	for _, b := range p.Byzantine {
+		behavior := adversary.Fabricate
+		if b.Replay {
+			behavior = adversary.Replay
+		}
+		out.Byzantine = append(out.Byzantine, adversary.ByzantineNode{
+			Node: b.Node, Behavior: behavior,
+			Start: b.Start, Period: b.Period, Count: b.Count,
+			EnergyBase: b.EnergyBase,
+		})
+	}
+	for _, s := range p.ClockSpoofs {
+		out.ClockSpoofs = append(out.ClockSpoofs, adversary.ClockSpoof{
+			Node: s.Node, At: s.At, SkewPPM: s.SkewPPM,
+		})
+	}
+	return out
 }
 
 // FaultPlan is a declarative, deterministic failure schedule. Identical
@@ -204,6 +270,10 @@ func (cfg Config) runtimeConfig() sid.Config {
 		rc.Failover = sid.DefaultFailoverConfig()
 	}
 	rc.Faults = cfg.Faults.internalPlan()
+	rc.Adversary = cfg.Adversary.internalAdversary()
+	if cfg.Defense {
+		rc.Defense = sid.DefaultDefenseConfig()
+	}
 	return rc
 }
 

@@ -113,3 +113,51 @@ func TestDeploymentSpectralSynthesis(t *testing.T) {
 		t.Fatalf("spectral deployment missed the intruder (stats %+v)", dep.Stats())
 	}
 }
+
+// TestDeploymentAdversaryDefense: the facade's Adversary and Defense knobs
+// must wire through to the internal runtime — a replay campaign against a
+// defended deployment is rejected and quarantined while the genuine
+// crossing stays confirmed. The attack/defense behavior itself is pinned
+// in internal/sid and internal/scenario; here we only require the public
+// wiring to work.
+func TestDeploymentAdversaryDefense(t *testing.T) {
+	cfg := DefaultDeployment()
+	cfg.Seed = 42
+	cfg.Defense = true
+	cfg.Adversary = AdversaryPlan{
+		Byzantine: []ByzantineNode{
+			{Node: 3, Replay: true, Start: 300, Period: 20, Count: 5},
+			{Node: 7, Replay: true, Start: 300, Period: 20, Count: 5},
+		},
+		ClockSpoofs: []ClockSpoof{{Node: 11, At: 60, SkewPPM: 8000}},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.AddIntruder(Intruder{SpeedKnots: 10, CrossAt: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Run(450); err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Detections()) == 0 {
+		t.Fatal("defended deployment lost the genuine crossing")
+	}
+	rt := dep.Runtime()
+	if rt.InjectedReports() == 0 {
+		t.Error("adversary plan did not inject")
+	}
+	if rt.RejectedReports() == 0 {
+		t.Error("defense rejected nothing")
+	}
+	// A plan naming a node outside the grid must be rejected up front.
+	bad := cfg
+	bad.Adversary = AdversaryPlan{Byzantine: []ByzantineNode{{Node: 99, Start: 1, Period: 1, Count: 1, EnergyBase: 10}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range byzantine node accepted")
+	}
+}
