@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial
+.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial serve loadgen serve-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -53,6 +53,34 @@ baseline:
 # the per-stage breakdown the synthesis perf target is pinned to.
 bench-check:
 	$(GO) run ./cmd/sidbench -check
+
+# Runs the multi-tenant detection server (docs/SERVING.md).
+SERVE_ADDR ?= localhost:8080
+serve:
+	$(GO) run ./cmd/sidserve -addr $(SERVE_ADDR)
+
+# Closed-loop load generator against an in-process server: 1000 concurrent
+# tenants over loopback HTTP; refreshes the serve_1k_tenants entry in
+# BENCH_baseline.json (pinned to GOMAXPROCS=2 like the rest of the
+# baseline; see docs/SERVING.md and docs/PERFORMANCE.md).
+loadgen:
+	$(GO) run ./cmd/sidbench -exp serve -gomaxprocs 2
+
+# Serve smoke: boot sidserve, drive a handful of tenants through the load
+# generator's external-address path (create, ingest, event-stream
+# confirmations, delete), and shut the server down. The load generator
+# waits for readiness itself and fails if any ingest confirmation or
+# detection event goes missing.
+SERVE_SMOKE_ADDR ?= localhost:18080
+serve-smoke:
+	@$(GO) build -o /tmp/sidserve-smoke ./cmd/sidserve
+	@/tmp/sidserve-smoke -addr $(SERVE_SMOKE_ADDR) & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	$(GO) run ./cmd/sidbench -exp serve -tenants 8 -addr $(SERVE_SMOKE_ADDR); \
+	status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	exit $$status
 
 # Observability smoke: journal one golden scenario and render it with
 # sidwatch (see docs/OBSERVABILITY.md). Fails if the report comes out empty.

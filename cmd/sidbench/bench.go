@@ -281,6 +281,20 @@ func runBench(path string) error {
 	printStages("spectral", stages)
 	printStages("phasor", stagesPhasor)
 
+	// Serving layer under load: 1000 closed-loop tenants against an
+	// in-process detection server over loopback HTTP. Recorded as p99
+	// POST→confirmation latency; the sustained node-block throughput rides
+	// along in the note and the derived section.
+	fmt.Println("  serve load (1000 tenants, closed-loop over loopback)...")
+	serveRes, err := measureServe(1000, "")
+	if err != nil {
+		return err
+	}
+	serveEntry := serveRes.benchEntry()
+	results = append(results, serveEntry)
+	fmt.Printf("  %-28s %12.0f ns/op  (%d ops)  %.0f node-blocks/s\n",
+		serveEntry.Name, serveEntry.NsPerOp, serveEntry.Ops, serveRes.BlocksPerSec())
+
 	radio := wsn.DefaultRadioConfig()
 	radio.LossProb = 0.2
 	radio.Reliable = wsn.DefaultReliableConfig()
@@ -316,6 +330,7 @@ func runBench(path string) error {
 			"deployment_spectral_speedup":          fmt.Sprintf("%.2fx", serial.NsPerOp/sserial.NsPerOp),
 			"synthesis_spectral_speedup":           fmt.Sprintf("%.2fx", stagesPhasor["synthesis"].NsPerOp/stages["synthesis"].NsPerOp),
 			"fleet_parallel_speedup":               fmt.Sprintf("%.2fx", fserial.NsPerOp/fpar.NsPerOp),
+			"serve_blocks_per_sec":                 fmt.Sprintf("%.0f", serveRes.BlocksPerSec()),
 		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -362,6 +377,16 @@ func checkBench(path string) error {
 	}
 	if len(bf.Benchmarks) == 0 {
 		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	hasServe := false
+	for _, b := range bf.Benchmarks {
+		if b.Name == serveBenchName {
+			hasServe = b.Ops > 0 && b.NsPerOp > 0
+			break
+		}
+	}
+	if !hasServe {
+		return fmt.Errorf("%s: %s missing; regenerate with -bench or refresh it with -exp serve", path, serveBenchName)
 	}
 	fmt.Printf("%s: ok (gomaxprocs=%d, num_cpu=%d, %d benchmarks, %d stages)\n",
 		path, bf.GOMAXPROCS, bf.NumCPU, len(bf.Benchmarks), len(bf.Stages))

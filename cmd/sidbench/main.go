@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet,serve or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
@@ -29,6 +29,8 @@ func main() {
 	journalDir := flag.String("journal", "", "with -exp scenarios: write one JSONL event journal per scenario into this directory (render with sidwatch)")
 	only := flag.String("only", "", "with -exp scenarios: run only the named scenario")
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while running (e.g. localhost:6060)")
+	tenants := flag.Int("tenants", 1000, "with -exp serve: concurrent tenant count for the load generator")
+	serveAddr := flag.String("addr", "", "with -exp serve: drive a running sidserve at this address instead of an in-process server (e.g. localhost:8080)")
 	flag.Parse()
 
 	if *httpAddr != "" {
@@ -264,6 +266,18 @@ func main() {
 	run("fleet", func() error {
 		return runFleetExp(*seed)
 	})
+
+	// The serve load generator is opt-in only: "all" regenerates the paper's
+	// evaluation, while serve drives a 1000-tenant HTTP load run (~half a
+	// minute of saturated ingest) and touches the baseline file.
+	if want["serve"] {
+		fmt.Println("== serve ==")
+		if err := runServeExp(*tenants, *serveAddr, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
 
 	run("fig12", func() error {
 		cfg := eval.DefaultFig12Config()

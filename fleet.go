@@ -49,8 +49,13 @@ func NewFleet(fc FleetConfig) (*Fleet, error) {
 func (f *Fleet) Size() int { return len(f.fields) }
 
 // Field returns field i for per-field setup (AddIntruder) and per-field
-// results (Detections, Stats).
-func (f *Fleet) Field(i int) *Deployment { return f.fields[i] }
+// results (Detections, Stats). Out-of-range indices return nil.
+func (f *Fleet) Field(i int) *Deployment {
+	if i < 0 || i >= len(f.fields) {
+		return nil
+	}
+	return f.fields[i]
+}
 
 // AddIntruder schedules a vessel crossing in field i.
 func (f *Fleet) AddIntruder(i int, in Intruder) error {

@@ -2,6 +2,7 @@ package sid
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -81,5 +82,72 @@ func TestFleetMatchesStandaloneDeployments(t *testing.T) {
 	}
 	if err := fleet.AddIntruder(99, Intruder{SpeedKnots: 5}); err == nil {
 		t.Error("AddIntruder on missing field accepted")
+	}
+}
+
+// TestFleetErrorPaths pins the facade's error surface: empty fleets and
+// invalid members are rejected at construction with the failing field
+// attributed by index, and out-of-range field access is safe.
+func TestFleetErrorPaths(t *testing.T) {
+	if _, err := NewFleet(FleetConfig{}); err == nil {
+		t.Error("empty Deployments accepted")
+	}
+
+	bad := DefaultDeployment()
+	bad.Rows = 0
+	_, err := NewFleet(FleetConfig{Deployments: []Config{DefaultDeployment(), bad}})
+	if err == nil {
+		t.Fatal("invalid member deployment accepted")
+	}
+	if !strings.Contains(err.Error(), "deployment 1") {
+		t.Errorf("construction error not attributed to the failing index: %v", err)
+	}
+
+	fleet, err := NewFleet(FleetConfig{Deployments: []Config{DefaultDeployment()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 1, 99} {
+		if d := fleet.Field(i); d != nil {
+			t.Errorf("Field(%d) returned a deployment for an out-of-range index", i)
+		}
+		if err := fleet.AddIntruder(i, Intruder{SpeedKnots: 10}); err == nil {
+			t.Errorf("AddIntruder(%d) accepted an out-of-range index", i)
+		}
+	}
+	if d := fleet.Field(0); d == nil {
+		t.Error("Field(0) returned nil for a valid index")
+	}
+	if err := fleet.AddIntruder(0, Intruder{SpeedKnots: 0}); err == nil {
+		t.Error("zero-speed intruder accepted")
+	}
+	if err := fleet.AddIntruder(0, Intruder{SpeedKnots: -3}); err == nil {
+		t.Error("negative-speed intruder accepted")
+	}
+}
+
+// TestConfigValidate pins the facade validation entry point: the zero
+// Config is rejected, the default accepted, and single-field breakage is
+// caught.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero Config validated")
+	}
+	if err := DefaultDeployment().Validate(); err != nil {
+		t.Errorf("DefaultDeployment invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"zero rows":       func(c *Config) { c.Rows = 0 },
+		"negative loss":   func(c *Config) { c.PacketLoss = -0.1 },
+		"negative wave":   func(c *Config) { c.SignificantWaveHeightM = -1 },
+		"zero period":     func(c *Config) { c.PeakPeriodS = 0 },
+		"negative worker": func(c *Config) { c.Workers = -1 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultDeployment()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
 	}
 }

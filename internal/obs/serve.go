@@ -46,18 +46,26 @@ func PublishRegistry(reg *Registry) {
 	})
 }
 
-// Serve starts the debug endpoint on addr (e.g. "localhost:6060" or ":0")
-// and publishes reg (may be nil) as the expvar "sid" variable. Routes:
-// /debug/pprof/* and /debug/vars.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	PublishRegistry(reg)
-	mux := http.NewServeMux()
+// RegisterDebug mounts the debug routes — /debug/pprof/* and /debug/vars —
+// onto an existing mux, so servers with their own API surface (the
+// detection server) can carry the same diagnostics endpoints Serve exposes
+// instead of binding a second port.
+func RegisterDebug(mux *http.ServeMux) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060" or ":0")
+// and publishes reg (may be nil) as the expvar "sid" variable. Routes:
+// /debug/pprof/* and /debug/vars.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	PublishRegistry(reg)
+	mux := http.NewServeMux()
+	RegisterDebug(mux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sensor"
+	"github.com/sid-wsn/sid/internal/source"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	nodes := [][]sensor.Sample{
+		{{T: 0, X: 1, Y: 2, Z: 3}, {T: 0.02, X: 4, Y: 5, Z: 6}},
+		nil, // silent node
+		{{T: 0, X: -7, Y: 8, Z: -9}},
+	}
+	pos := []geo.Vec2{{X: 0, Y: 0}, {X: 25, Y: 0}, {X: 50, Y: 0}}
+	var buf bytes.Buffer
+	if err := EncodeBundle(&buf, 2.5, 50, 1024, pos, 42, nodes); err != nil {
+		t.Fatal(err)
+	}
+	dur, got, rate, scale, err := DecodeBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur != 2.5 || rate != 50 || scale != 1024 {
+		t.Fatalf("dur=%g rate=%g scale=%g", dur, rate, scale)
+	}
+	if len(got) != 3 || got[1] != nil {
+		t.Fatalf("decoded %d node streams, silent=%v", len(got), got[1])
+	}
+	for node := range nodes {
+		if len(got[node]) != len(nodes[node]) {
+			t.Fatalf("node %d: %d samples, want %d", node, len(got[node]), len(nodes[node]))
+		}
+		for i, s := range nodes[node] {
+			g := got[node][i]
+			if g.X != s.X || g.Y != s.Y || g.Z != s.Z {
+				t.Errorf("node %d sample %d: %+v != %+v", node, i, g, s)
+			}
+		}
+	}
+
+	if _, _, _, _, err := DecodeBundle(bytes.NewReader([]byte("BADMAGIC"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := EncodeBundle(&buf, 0, 50, 1024, nil, 0, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+// TestChunksFromSource pins that slicing a trace into bundles and decoding
+// them back reproduces the trace's samples, chunk-aligned.
+func TestChunksFromSource(t *testing.T) {
+	const rate, scale = 50.0, 1024.0
+	mk := func(n int, t0 float64) []sensor.Sample {
+		out := make([]sensor.Sample, n)
+		for i := range out {
+			out[i] = sensor.Sample{T: t0 + float64(i)/rate, X: int16(i), Y: int16(2 * i), Z: int16(3 * i)}
+		}
+		return out
+	}
+	all := [][]sensor.Sample{mk(100, 0), mk(100, 0)} // two nodes, 2 s
+	tr, err := source.TraceFromSamples(rate, scale, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := ChunksFromSource(tr, nil, 9, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("%d chunks, want 4", len(chunks))
+	}
+	for k, chunk := range chunks {
+		dur, nodes, _, _, err := DecodeBundle(bytes.NewReader(chunk))
+		if err != nil {
+			t.Fatalf("chunk %d: %v", k, err)
+		}
+		if dur != 0.5 || len(nodes) != 2 {
+			t.Fatalf("chunk %d: dur=%g nodes=%d", k, dur, len(nodes))
+		}
+		for node := range nodes {
+			want := all[node][k*25 : (k+1)*25]
+			if len(nodes[node]) != 25 {
+				t.Fatalf("chunk %d node %d: %d samples", k, node, len(nodes[node]))
+			}
+			for i := range want {
+				g := nodes[node][i]
+				if g.X != want[i].X || g.Y != want[i].Y || g.Z != want[i].Z {
+					t.Fatalf("chunk %d node %d sample %d differs", k, node, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkSamplesConversion(t *testing.T) {
+	c := Chunk{
+		DurationS: 1,
+		Nodes: [][]Sample{
+			{{T: 0.5, X: 1, Y: 2, Z: 3}},
+			{},
+		},
+	}
+	got := c.Samples()
+	want := [][]sensor.Sample{{{T: 0.5, X: 1, Y: 2, Z: 3}}, nil}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Samples() = %+v, want %+v", got, want)
+	}
+}

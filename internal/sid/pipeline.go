@@ -29,6 +29,15 @@ import (
 // ring, and the block reference is dropped before the next batch — no
 // stage ever buffers a full run, so a deployment can run online against an
 // unbounded stream.
+//
+// Run may be called repeatedly to advance the deployment in segments (the
+// serving layer ingests one chunk per segment). The global sample index
+// persists across segments (r.sampleIdx), so index-addressed sources —
+// trace replays, push-fed streams — stay aligned: segment N+1 asks for the
+// sample right after the last one segment N consumed. Segments should be
+// multiples of SampleBatch; a misaligned segment still runs, but its last
+// batch extends past the segment end, exactly as a single long Run's final
+// batch would.
 func (r *Runtime) Run(dur float64) error {
 	start := r.sched.Now()
 	end := start + dur
@@ -40,6 +49,7 @@ func (r *Runtime) Run(dur float64) error {
 	active := make([]*nodeState, 0, len(r.nodes))
 	var batchAt func(t float64, sampleIdx int)
 	batchAt = func(t float64, sampleIdx int) {
+		r.sampleIdx = sampleIdx + perBatch
 		active = active[:0]
 		for _, ns := range r.nodes {
 			if r.senseGate(ns, sampleIdx, perBatch, sampleRate) {
@@ -70,7 +80,7 @@ func (r *Runtime) Run(dur float64) error {
 			_ = r.sched.Schedule(next, func() { batchAt(next, sampleIdx+perBatch) })
 		}
 	}
-	if err := r.sched.Schedule(start, func() { batchAt(start, 0) }); err != nil {
+	if err := r.sched.Schedule(start, func() { batchAt(start, r.sampleIdx) }); err != nil {
 		return err
 	}
 	r.sched.Run(end)

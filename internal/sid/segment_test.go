@@ -1,0 +1,97 @@
+package sid
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/obs"
+	"github.com/sid-wsn/sid/internal/source"
+	"github.com/sid-wsn/sid/internal/wake"
+)
+
+// TestSegmentedRunMatchesSingleRun pins the chunked-advance contract the
+// serving layer depends on: replaying a recording in many short Run
+// segments is bit-identical — sink reports, node reports, journal bytes —
+// to replaying it in one call. This exercises the runtime's persistent
+// global sample index; before it existed, every Run call restarted the
+// index at zero and segmented replays of index-addressed sources silently
+// served nothing.
+func TestSegmentedRunMatchesSingleRun(t *testing.T) {
+	const dur = 160.0
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+
+	// Record a crossing so the equivalence covers real protocol traffic.
+	rec := &source.Recording{}
+	recCfg := cfg
+	recCfg.RecordTo = rec
+	rt, err := NewRuntime(recCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ship, err := wake.CrossingShip(cfg.Grid.Center(), 10, 0, 0, 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddShip(ship)
+	if err := rt.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.SinkReports()) == 0 {
+		t.Fatal("recording run produced no detections; the segment test needs protocol traffic")
+	}
+
+	replay := func(segments []float64) (*Runtime, []byte) {
+		t.Helper()
+		src, err := rec.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		j := obs.NewJournal(0)
+		j.SetSink(&buf)
+		col := obs.New()
+		col.SetJournal(j)
+		rcfg := cfg
+		rcfg.Source = src
+		rcfg.Obs = col
+		rrt, err := NewRuntime(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range segments {
+			if err := rrt.Run(seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rrt, buf.Bytes()
+	}
+
+	whole, wholeJournal := replay([]float64{dur})
+	if !reflect.DeepEqual(whole.SinkReports(), rt.SinkReports()) {
+		t.Fatal("whole replay diverges from the recording run")
+	}
+
+	segs := make([]float64, 16)
+	for i := range segs {
+		segs[i] = 10
+	}
+	chunked, chunkedJournal := replay(segs)
+
+	if !reflect.DeepEqual(chunked.SinkReports(), whole.SinkReports()) {
+		t.Errorf("segmented sink reports differ:\n got %+v\nwant %+v",
+			chunked.SinkReports(), whole.SinkReports())
+	}
+	if !reflect.DeepEqual(chunked.NodeReports(), whole.NodeReports()) {
+		t.Errorf("segmented node reports differ (%d vs %d)",
+			len(chunked.NodeReports()), len(whole.NodeReports()))
+	}
+	if !bytes.Equal(chunkedJournal, wholeJournal) {
+		t.Errorf("segmented journal is not bit-identical (%d vs %d bytes)",
+			len(chunkedJournal), len(wholeJournal))
+	}
+}

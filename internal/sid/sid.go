@@ -176,6 +176,9 @@ func (c Config) Validate() error {
 	} else if n := c.Source.NumNodes(); n != c.Grid.NumNodes() {
 		return fmt.Errorf("sid: source serves %d node streams, grid has %d nodes", n, c.Grid.NumNodes())
 	}
+	if err := c.Radio.Validate(); err != nil {
+		return err
+	}
 	if c.ClusterHops <= 0 {
 		return fmt.Errorf("sid: ClusterHops must be positive, got %d", c.ClusterHops)
 	}
@@ -266,6 +269,12 @@ type Runtime struct {
 	sinkReports []SinkReport
 	nodeReports []NodeReport
 	evaluations []Evaluation
+
+	// sampleIdx is the global index of the next unconsumed sample,
+	// persisted across Run segments so index-addressed sources (trace
+	// replays, push streams) stay aligned when a deployment is advanced in
+	// chunks.
+	sampleIdx int
 
 	// suspicion and quarantined are the defense layer's per-node ledger
 	// (defense.go); allocated even when defenses are off so accessors are

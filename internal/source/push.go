@@ -1,0 +1,120 @@
+package source
+
+import (
+	"fmt"
+
+	"github.com/sid-wsn/sid/internal/sensor"
+)
+
+// Push is a Source fed by an external producer — the detection server's
+// ingest path. A producer Appends per-node sample runs (one chunk at a
+// time), then advances the consuming pipeline far enough to drain them;
+// Block serves the buffered samples by global index with times recomputed
+// from the batch clock, exactly like a Trace replay, so a pushed stream is
+// bit-identical through the pipeline to the synthesis that produced it.
+//
+// The feed-then-run discipline is the memory bound: each Append is followed
+// by a Run covering it, Block drops consumed samples, and the pending
+// window never holds more than one chunk plus one batch. Push is not safe
+// for Append concurrent with Block — the producer and the pipeline must
+// alternate (the serving layer's per-tenant loop guarantees this); Block
+// calls on distinct nodes may be concurrent, per the Source contract.
+type Push struct {
+	rate  float64
+	scale float64
+	nodes []pushNode
+}
+
+// pushNode is one node's pending window. Like traceNode, pendIdx is the
+// global sample index of pending[0]; began latches once the first samples
+// arrive so contiguity is only enforced within a stream.
+type pushNode struct {
+	pending []sensor.Sample
+	pendIdx int
+	began   bool
+	out     []sensor.Sample
+}
+
+// NewPush returns an empty push source serving numNodes node streams.
+func NewPush(rate, scale float64, numNodes int) (*Push, error) {
+	if rate <= 0 || scale <= 0 {
+		return nil, fmt.Errorf("source: push rate and scale must be positive, got %g, %g", rate, scale)
+	}
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("source: push needs at least one node stream, got %d", numNodes)
+	}
+	return &Push{rate: rate, scale: scale, nodes: make([]pushNode, numNodes)}, nil
+}
+
+// Rate implements Source.
+func (p *Push) Rate() float64 { return p.rate }
+
+// Scale implements Source.
+func (p *Push) Scale() float64 { return p.scale }
+
+// NumNodes implements Source.
+func (p *Push) NumNodes() int { return len(p.nodes) }
+
+// Append feeds one node's next samples. The first append pins the stream's
+// global start index from its first sample time (round(T·rate), as
+// TraceFromSamples does); every later append must continue exactly where
+// the previous one ended — a gap or overlap is an error, because replay by
+// index would silently misalign onsets. An empty append is a no-op (the
+// node is silent for this chunk).
+func (p *Push) Append(node int, samples []sensor.Sample) error {
+	if node < 0 || node >= len(p.nodes) {
+		return fmt.Errorf("source: push has no node %d", node)
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	ns := &p.nodes[node]
+	idx := globalIndex(samples[0].T, p.rate)
+	if !ns.began {
+		ns.began = true
+		ns.pendIdx = idx
+	} else if want := ns.pendIdx + len(ns.pending); idx != want {
+		return fmt.Errorf("source: push node %d stream has a gap at sample %d (expected %d)", node, idx, want)
+	}
+	ns.pending = append(ns.pending, samples...)
+	return nil
+}
+
+// Pending returns the total buffered (not yet consumed) sample count across
+// all nodes — the serving layer's queue-depth gauge.
+func (p *Push) Pending() int {
+	total := 0
+	for i := range p.nodes {
+		total += len(p.nodes[i].pending)
+	}
+	return total
+}
+
+// Block implements Source: serve the buffered samples with global indices
+// in [idx, idx+n), times recomputed as t0 + i/rate (the sensor.SampleBlock
+// formula — what makes pushed onsets bit-identical to the originating
+// synthesis). Consumed and skipped-over samples are dropped, keeping the
+// pending window bounded.
+func (p *Push) Block(node, idx int, t0 float64, n int) []sensor.Sample {
+	ns := &p.nodes[node]
+	if drop := idx - ns.pendIdx; drop > 0 {
+		if drop > len(ns.pending) {
+			drop = len(ns.pending)
+		}
+		ns.pending = ns.pending[drop:]
+		ns.pendIdx += drop
+	}
+	ns.out = ns.out[:0]
+	for j := ns.pendIdx; j < idx+n && j-ns.pendIdx < len(ns.pending); j++ {
+		if j < idx {
+			continue
+		}
+		s := ns.pending[j-ns.pendIdx]
+		s.T = t0 + float64(j-idx)/p.rate
+		ns.out = append(ns.out, s)
+	}
+	if len(ns.out) == 0 {
+		return nil
+	}
+	return ns.out
+}

@@ -76,6 +76,37 @@ func NewShip(track geo.Line, speed, length float64) (*Ship, error) {
 	}, nil
 }
 
+// CrossingShip builds the standard intruder geometry: a ship sailing a
+// straight line whose wake front reaches center at time crossAt. The
+// heading is in degrees from the +X (grid row) axis — 0 defaults to 90, a
+// perpendicular crossing — offsetM shifts the sailing line sideways from
+// center, and lengthM is the hull length (0 defaults to 12 m). The track
+// starts 1 km before the center so the approach is fully off-field. This
+// is the single source of the facade's AddIntruder geometry; the serving
+// layer's feed builders reuse it so a served intruder is exactly the
+// library's.
+func CrossingShip(center geo.Vec2, speedKnots, headingDeg, offsetM, crossAt, lengthM float64) (*Ship, error) {
+	if speedKnots <= 0 {
+		return nil, fmt.Errorf("wake: intruder speed must be positive, got %g", speedKnots)
+	}
+	if lengthM == 0 {
+		lengthM = 12
+	}
+	heading := geo.Deg(headingDeg)
+	if headingDeg == 0 {
+		heading = geo.Deg(90) // default: perpendicular crossing
+	}
+	dir := geo.Vec2{X: math.Cos(heading), Y: math.Sin(heading)}
+	normal := geo.Vec2{X: -dir.Y, Y: dir.X}
+	origin := center.Add(normal.Scale(offsetM)).Sub(dir.Scale(1000))
+	ship, err := NewShip(geo.NewLine(origin, dir), geo.Knots(speedKnots), lengthM)
+	if err != nil {
+		return nil, err
+	}
+	ship.Time0 = crossAt - (ship.ArrivalTime(center) - ship.Time0)
+	return ship, nil
+}
+
 // Position returns the ship position at time t.
 func (s *Ship) Position(t float64) geo.Vec2 {
 	return s.Track.At(s.Speed * (t - s.Time0))

@@ -132,6 +132,12 @@ func DefaultRadioConfig() RadioConfig {
 	return RadioConfig{Range: 60, LossProb: 0.05, BaseDelay: 0.005, JitterStd: 0.002, Retries: 2}
 }
 
+// Validate checks the radio configuration. NewNetwork validates on
+// construction regardless; this export lets configuration surfaces (the
+// deployment validator, the serving layer's tenant specs) reject a bad
+// radio before building anything.
+func (c RadioConfig) Validate() error { return c.validate() }
+
 func (c RadioConfig) validate() error {
 	if c.Range <= 0 {
 		return fmt.Errorf("wsn: radio range must be positive, got %g", c.Range)

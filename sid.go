@@ -31,7 +31,6 @@ package sid
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/sid-wsn/sid/internal/adversary"
 	"github.com/sid-wsn/sid/internal/fault"
@@ -284,6 +283,14 @@ func (cfg Config) Validate() error {
 	return cfg.runtimeConfig().Validate()
 }
 
+// RuntimeConfig lowers the public configuration onto the internal runtime
+// configuration — the same single conversion path NewDeployment, NewFleet
+// and Validate use. It exists for in-module layers: the detection server
+// (internal/serve) compiles tenant specs through it so a served deployment
+// is exactly the deployment the facade would build. Code outside this
+// module cannot name the returned type and should use NewDeployment.
+func (cfg Config) RuntimeConfig() sid.Config { return cfg.runtimeConfig() }
+
 // NewDeployment builds the simulated field.
 func NewDeployment(cfg Config) (*Deployment, error) {
 	rt, err := sid.NewRuntime(cfg.runtimeConfig())
@@ -315,24 +322,12 @@ func (d *Deployment) AddIntruder(in Intruder) error {
 	if in.SpeedKnots <= 0 {
 		return fmt.Errorf("sid: intruder speed must be positive, got %g", in.SpeedKnots)
 	}
-	if in.LengthM == 0 {
-		in.LengthM = 12
-	}
-	heading := geo.Deg(in.HeadingDeg)
-	if in.HeadingDeg == 0 {
-		heading = geo.Deg(90) // default: perpendicular crossing
-	}
 	grid := geo.GridSpec{Rows: d.cfg.Rows, Cols: d.cfg.Cols, Spacing: d.cfg.SpacingM}
-	center := grid.Center()
-	dir := geo.Vec2{X: math.Cos(heading), Y: math.Sin(heading)}
-	normal := geo.Vec2{X: -dir.Y, Y: dir.X}
-	origin := center.Add(normal.Scale(in.OffsetM)).Sub(dir.Scale(1000))
-	track := geo.NewLine(origin, dir)
-	ship, err := wake.NewShip(track, geo.Knots(in.SpeedKnots), in.LengthM)
+	ship, err := wake.CrossingShip(grid.Center(),
+		in.SpeedKnots, in.HeadingDeg, in.OffsetM, in.CrossAt, in.LengthM)
 	if err != nil {
 		return err
 	}
-	ship.Time0 = in.CrossAt - (ship.ArrivalTime(center) - ship.Time0)
 	d.rt.AddShip(ship)
 	return nil
 }
