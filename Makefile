@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial serve loadgen serve-smoke
+.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial serve loadgen serve-smoke trace-smoke
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -81,6 +81,17 @@ serve-smoke:
 	status=$$?; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	exit $$status
+
+# Trace smoke: record the hot feed with tracing, replay it into a traced
+# tenant over HTTP, assert the served trace is byte-identical to the
+# recording (sidbench exits nonzero otherwise), and render the detection
+# waterfall with sidwatch, requiring at least four distinct span kinds
+# (see docs/OBSERVABILITY.md).
+TRACE_TMP := $(shell mktemp -d)
+trace-smoke:
+	$(GO) run ./cmd/sidbench -exp trace > $(TRACE_TMP)/trace.jsonl
+	$(GO) run ./cmd/sidwatch trace -min-kinds 4 $(TRACE_TMP)/trace.jsonl
+	@rm -rf $(TRACE_TMP)
 
 # Observability smoke: journal one golden scenario and render it with
 # sidwatch (see docs/OBSERVABILITY.md). Fails if the report comes out empty.

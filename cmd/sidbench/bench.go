@@ -30,6 +30,11 @@ type benchResult struct {
 	Ops int `json:"ops"`
 	// Note describes what one op is (e.g. samples synthesized).
 	Note string `json:"note,omitempty"`
+	// DetE2eP50Ns/DetE2eP99Ns are recorded only by the serve load entry:
+	// detection end-to-end latency (chunk POST → detection event on the
+	// wire) percentiles in nanoseconds.
+	DetE2eP50Ns float64 `json:"det_e2e_p50_ns,omitempty"`
+	DetE2eP99Ns float64 `json:"det_e2e_p99_ns,omitempty"`
 }
 
 // stageResult is one pipeline stage's aggregate from the instrumented
@@ -382,6 +387,9 @@ func checkBench(path string) error {
 	for _, b := range bf.Benchmarks {
 		if b.Name == serveBenchName {
 			hasServe = b.Ops > 0 && b.NsPerOp > 0
+			if hasServe && (b.DetE2eP50Ns <= 0 || b.DetE2eP99Ns <= 0) {
+				return fmt.Errorf("%s: %s lacks detection e2e percentiles; refresh it with -exp serve", path, serveBenchName)
+			}
 			break
 		}
 	}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet,serve or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet,serve,trace or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
@@ -277,6 +277,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+
+	// The trace smoke is opt-in like serve, and it keeps stdout clean: it
+	// prints only the served detection-trace JSONL so the output pipes
+	// straight into `sidwatch trace`.
+	if want["trace"] {
+		if err := runTraceExp(*serveAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	run("fig12", func() error {

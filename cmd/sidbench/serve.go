@@ -44,6 +44,10 @@ type serveLoadResult struct {
 	WantDets   int
 	Wall       time.Duration
 	P50, P99   time.Duration
+	// DetP50/DetP99 are detection end-to-end latency: the POST of the chunk
+	// whose processing confirmed the detection → the detection event arriving
+	// on the tenant's wire stream.
+	DetP50, DetP99 time.Duration
 }
 
 // BlocksPerSec is the sustained ingest throughput in node-blocks per
@@ -125,21 +129,22 @@ type wireEvent struct {
 // driveTenant runs one tenant's full lifecycle closed-loop over HTTP:
 // create, subscribe to the event stream, post every chunk and wait for its
 // ingest confirmation before posting the next, then delete. It returns the
-// per-chunk POST→confirmation latencies and the detection events observed
-// on the wire.
-func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64) ([]time.Duration, error) {
+// per-chunk POST→confirmation latencies, the per-detection end-to-end
+// latencies (chunk POST → detection event on the wire), and counts the
+// detection events observed.
+func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64) ([]time.Duration, []time.Duration, error) {
 	body, err := json.Marshal(serve.CreateRequest{ID: id, Spec: f.spec})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err := client.Post(base+"/v1/tenants", serve.ContentTypeJSON, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("create: %w", err)
+		return nil, nil, fmt.Errorf("create: %w", err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
-		return nil, fmt.Errorf("create: status %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("create: status %d", resp.StatusCode)
 	}
 
 	// Event stream: NDJSON, read until serve.end or stream close.
@@ -147,18 +152,25 @@ func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/tenants/"+id+"/events", nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	es, err := client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("events: %w", err)
+		return nil, nil, fmt.Errorf("events: %w", err)
 	}
 	if es.StatusCode != http.StatusOK {
 		es.Body.Close()
-		return nil, fmt.Errorf("events: status %d", es.StatusCode)
+		return nil, nil, fmt.Errorf("events: status %d", es.StatusCode)
 	}
 	ingested := make(chan serve.IngestDone, 16)
 	readerErr := make(chan error, 1)
+	// postNs carries the wall time of the chunk POST currently in flight to
+	// the reader goroutine; a detection event's end-to-end latency is
+	// measured against it (closed-loop posting means the detection's chunk
+	// is always the in-flight one).
+	var postNs atomic.Int64
+	var detMu sync.Mutex
+	var detLats []time.Duration
 	go func() {
 		defer es.Body.Close()
 		sc := bufio.NewScanner(es.Body)
@@ -179,6 +191,12 @@ func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64)
 				ingested <- done
 			case serve.KindDetection:
 				atomic.AddInt64(dets, 1)
+				if s := postNs.Load(); s > 0 {
+					e2e := time.Since(time.Unix(0, s))
+					detMu.Lock()
+					detLats = append(detLats, e2e)
+					detMu.Unlock()
+				}
 			case serve.KindError:
 				readerErr <- fmt.Errorf("events: stream error: %s", ev.Data)
 				return
@@ -193,11 +211,12 @@ func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64)
 	lats := make([]time.Duration, 0, len(f.feed.Chunks))
 	for k, chunk := range f.feed.Chunks {
 		start := time.Now()
+		postNs.Store(start.UnixNano())
 		for {
 			resp, err := client.Post(base+"/v1/tenants/"+id+"/chunks",
 				serve.ContentTypeBundle, bytes.NewReader(chunk))
 			if err != nil {
-				return nil, fmt.Errorf("chunk %d: %w", k, err)
+				return nil, nil, fmt.Errorf("chunk %d: %w", k, err)
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -211,46 +230,48 @@ func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64)
 				time.Sleep(50 * time.Millisecond)
 				continue
 			}
-			return nil, fmt.Errorf("chunk %d: status %d", k, resp.StatusCode)
+			return nil, nil, fmt.Errorf("chunk %d: status %d", k, resp.StatusCode)
 		}
 		select {
 		case done := <-ingested:
 			if done.Seq != k {
-				return nil, fmt.Errorf("chunk %d: confirmation for seq %d", k, done.Seq)
+				return nil, nil, fmt.Errorf("chunk %d: confirmation for seq %d", k, done.Seq)
 			}
 			lats = append(lats, time.Since(start))
 		case err := <-readerErr:
 			if err == nil {
 				err = fmt.Errorf("event stream ended before chunk %d confirmed", k)
 			}
-			return nil, err
+			return nil, nil, err
 		case <-time.After(10 * time.Minute):
-			return nil, fmt.Errorf("chunk %d: confirmation timeout", k)
+			return nil, nil, fmt.Errorf("chunk %d: confirmation timeout", k)
 		}
 	}
 
 	req, err = http.NewRequest(http.MethodDelete, base+"/v1/tenants/"+id, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err = client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("delete: %w", err)
+		return nil, nil, fmt.Errorf("delete: %w", err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("delete: status %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("delete: status %d", resp.StatusCode)
 	}
 	select {
 	case err := <-readerErr:
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	case <-time.After(time.Minute):
-		return nil, fmt.Errorf("no end-of-stream event after delete")
+		return nil, nil, fmt.Errorf("no end-of-stream event after delete")
 	}
-	return lats, nil
+	detMu.Lock()
+	defer detMu.Unlock()
+	return lats, detLats, nil
 }
 
 // measureServe drives tenants concurrent closed-loop tenants against a
@@ -296,6 +317,7 @@ func measureServe(tenants int, addr string) (*serveLoadResult, error) {
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		lats    []time.Duration
+		detLats []time.Duration
 		firstEr error
 		dets    int64
 	)
@@ -312,13 +334,14 @@ func measureServe(tenants int, addr string) (*serveLoadResult, error) {
 		wg.Add(1)
 		go func(i int, f serveFeed) {
 			defer wg.Done()
-			tl, err := driveTenant(client, base, fmt.Sprintf("lg%d", i), f, &dets)
+			tl, dl, err := driveTenant(client, base, fmt.Sprintf("lg%d", i), f, &dets)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstEr == nil {
 				firstEr = fmt.Errorf("tenant lg%d: %w", i, err)
 			}
 			lats = append(lats, tl...)
+			detLats = append(detLats, dl...)
 		}(i, f)
 	}
 	wg.Wait()
@@ -337,6 +360,12 @@ func measureServe(tenants int, addr string) (*serveLoadResult, error) {
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
 	res.P50 = lats[len(lats)/2]
 	res.P99 = lats[len(lats)*99/100]
+	if len(detLats) == 0 {
+		return nil, fmt.Errorf("serve: no detection end-to-end latency samples (hot feed produced no detections?)")
+	}
+	sort.Slice(detLats, func(a, b int) bool { return detLats[a] < detLats[b] })
+	res.DetP50 = detLats[len(detLats)/2]
+	res.DetP99 = detLats[len(detLats)*99/100]
 	return res, nil
 }
 
@@ -347,6 +376,8 @@ func (r *serveLoadResult) print() {
 	fmt.Printf("  throughput:        %.0f node-blocks/s\n", r.BlocksPerSec())
 	fmt.Printf("  ingest latency:    p50 %.1f ms, p99 %.1f ms (POST -> confirmation event)\n",
 		float64(r.P50.Microseconds())/1000, float64(r.P99.Microseconds())/1000)
+	fmt.Printf("  detection e2e:     p50 %.1f ms, p99 %.1f ms (chunk POST -> detection event)\n",
+		float64(r.DetP50.Microseconds())/1000, float64(r.DetP99.Microseconds())/1000)
 	fmt.Printf("  detections on wire: %d (all %d expected confirmations delivered)\n",
 		r.Detections, r.WantDets)
 }
@@ -355,9 +386,11 @@ func (r *serveLoadResult) print() {
 // is the p99 POST→confirmation latency, ops the chunk count.
 func (r *serveLoadResult) benchEntry() benchResult {
 	return benchResult{
-		Name:    serveBenchName,
-		NsPerOp: float64(r.P99.Nanoseconds()),
-		Ops:     r.Chunks,
+		Name:        serveBenchName,
+		NsPerOp:     float64(r.P99.Nanoseconds()),
+		Ops:         r.Chunks,
+		DetE2eP50Ns: float64(r.DetP50.Nanoseconds()),
+		DetE2eP99Ns: float64(r.DetP99.Nanoseconds()),
 		Note: fmt.Sprintf("p99 ingest latency, %d closed-loop tenants, %.0f node-blocks/s sustained, %d detections on the wire",
 			r.Tenants, r.BlocksPerSec(), r.Detections),
 	}

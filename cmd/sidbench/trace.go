@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	sidapi "github.com/sid-wsn/sid"
+	"github.com/sid-wsn/sid/internal/serve"
+)
+
+// runTraceExp is the -exp trace entry point and the CI trace smoke: record
+// the detection-bearing hot feed with a tracer attached, replay it into a
+// traced tenant (in-process unless -addr points at a running sidserve),
+// fetch the tenant's deterministic trace serialization, assert it matches
+// the recording byte for byte, and print the JSONL to stdout so it can be
+// piped into `sidwatch trace`. All commentary goes to stderr.
+func runTraceExp(addr string) error {
+	const label = "trace-smoke"
+	spec := sidapi.DefaultDeployment()
+	spec.Rows, spec.Cols = 5, 5
+	spec.Seed = 301
+	feed, err := serve.BuildFeed(serve.FeedSpec{
+		Spec:       spec,
+		Intruders:  []sidapi.Intruder{{SpeedKnots: 10, CrossAt: 60}},
+		Duration:   120,
+		ChunkS:     10,
+		TraceLabel: label,
+	})
+	if err != nil {
+		return err
+	}
+	if len(feed.Detections) == 0 {
+		return fmt.Errorf("trace: the recorded feed produced no detections")
+	}
+	if len(feed.Trace) == 0 {
+		return fmt.Errorf("trace: the recorded feed produced no trace spans")
+	}
+
+	base := "http://" + addr
+	if addr != "" {
+		if err := waitReady(base, 10*time.Second); err != nil {
+			return err
+		}
+	} else {
+		srv := serve.New(serve.Config{})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+	client := http.DefaultClient
+
+	body, err := json.Marshal(serve.CreateRequest{
+		ID: label, Spec: spec, Trace: true, Genesis: feed.Genesis,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/tenants", serve.ContentTypeJSON, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("trace: create: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("trace: create: status %d", resp.StatusCode)
+	}
+	defer func() {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/tenants/"+label, nil)
+		if err != nil {
+			return
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	var accepted float64
+	for k, chunk := range feed.Chunks {
+		for {
+			resp, err := client.Post(base+"/v1/tenants/"+label+"/chunks",
+				serve.ContentTypeBundle, bytes.NewReader(chunk))
+			if err != nil {
+				return fmt.Errorf("trace: chunk %d: %w", k, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			return fmt.Errorf("trace: chunk %d: status %d", k, resp.StatusCode)
+		}
+		accepted += 10
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var st serve.TenantStatus
+		resp, err := client.Get(base + "/v1/tenants/" + label)
+		if err != nil {
+			return fmt.Errorf("trace: status: %w", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("trace: status: %w", err)
+		}
+		if st.Err != "" {
+			return fmt.Errorf("trace: tenant failed: %s", st.Err)
+		}
+		if st.ProcessedS >= accepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("trace: tenant stuck at %gs of %gs processed", st.ProcessedS, accepted)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err = client.Get(base + "/v1/tenants/" + label + "/traces?format=jsonl")
+	if err != nil {
+		return fmt.Errorf("trace: fetch: %w", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("trace: fetch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: fetch: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, feed.Trace) {
+		return fmt.Errorf("trace: served trace differs from the in-process recording (%d vs %d bytes) — wire determinism broken",
+			len(got), len(feed.Trace))
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d detections, %d trace bytes, wire == in-process\n",
+		len(feed.Detections), len(got))
+	os.Stdout.Write(got)
+	return nil
+}

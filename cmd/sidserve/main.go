@@ -7,9 +7,9 @@
 //	sidserve -addr :8080 -workers 4 -max-tenants 2048
 //
 // The API is documented in docs/SERVING.md. The process also serves
-// /debug/pprof and /debug/vars (with the server registry published as the
-// expvar "sid" variable) on the same address. SIGINT/SIGTERM drain every
-// tenant before exit.
+// /debug/vars (with the server registry published as the expvar "sid"
+// variable) on the same address, plus /debug/pprof when -pprof is given.
+// SIGINT/SIGTERM drain every tenant before exit.
 package main
 
 import (
@@ -32,12 +32,14 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent pipeline slots (0 = GOMAXPROCS)")
 		maxTenants = flag.Int("max-tenants", 0, "tenant cap (0 = default 4096)")
 		queue      = flag.Int("queue", 0, "default per-tenant ingest queue depth in chunks (0 = default 4)")
+		pprof      = flag.Bool("pprof", false, "expose /debug/pprof (off by default: profiling is a DoS surface)")
 	)
 	flag.Parse()
 	if err := run(*addr, serve.Config{
 		Workers:      *workers,
 		MaxTenants:   *maxTenants,
 		DefaultQueue: *queue,
+		PProf:        *pprof,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -25,8 +25,13 @@ import (
 )
 
 func main() {
+	// `sidwatch trace` renders per-detection waterfalls from a trace set
+	// (see trace.go); everything else is the journal report.
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(traceMain(os.Args[2:]))
+	}
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sidwatch [journal.jsonl]\nReads a SID event journal (JSONL) and prints a per-run report.\nWith no argument the journal is read from stdin.\n")
+		fmt.Fprintf(os.Stderr, "usage: sidwatch [journal.jsonl]\n       sidwatch trace [-min-kinds N] [-wall] [traces.json|traces.jsonl]\nReads a SID event journal (JSONL) and prints a per-run report.\nWith no argument the journal is read from stdin.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegisterDebugPProfGating(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		pprof      bool
+		wantStatus int
+	}{
+		{"pprof off", false, http.StatusNotFound},
+		{"pprof on", true, http.StatusOK},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mux := http.NewServeMux()
+			RegisterDebug(mux, tc.pprof)
+			srv := httptest.NewServer(mux)
+			defer srv.Close()
+
+			resp, err := http.Get(srv.URL + "/debug/vars")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("/debug/vars status = %d, want 200 regardless of pprof", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+				t.Errorf("/debug/vars content type = %q", ct)
+			}
+
+			for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != tc.wantStatus {
+					t.Errorf("%s status = %d, want %d", path, resp.StatusCode, tc.wantStatus)
+				}
+			}
+		})
+	}
+}

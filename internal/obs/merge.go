@@ -8,7 +8,9 @@ import "sort"
 // fleet-wide worst case is the useful aggregate), and histograms with
 // identical bounds merge bucket-wise. Histograms whose bounds disagree
 // across snapshots keep the first shape and drop the others — metric names
-// are expected to imply their bounds, so this only happens on misuse.
+// are expected to imply their bounds, so this only happens on misuse — and
+// every dropped histogram increments the "merge.dropped" counter in the
+// result, so the loss is visible instead of silent.
 //
 // The result is sorted by name like any Snapshot, so merging is
 // deterministic regardless of input order.
@@ -16,6 +18,7 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	counters := map[string]int64{}
 	gauges := map[string]float64{}
 	hists := map[string]*HistogramValue{}
+	var dropped int64
 	for _, s := range snaps {
 		for _, c := range s.Counters {
 			counters[c.Name] += c.Value
@@ -39,6 +42,7 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 				continue
 			}
 			if !sameBounds(cur.Bounds, h.Bounds) {
+				dropped++
 				continue
 			}
 			for i, b := range h.Buckets {
@@ -47,6 +51,9 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 			cur.Count += h.Count
 			cur.Sum += h.Sum
 		}
+	}
+	if dropped > 0 {
+		counters["merge.dropped"] += dropped
 	}
 	var out Snapshot
 	for name, v := range counters {

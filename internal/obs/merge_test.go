@@ -1,0 +1,93 @@
+package obs
+
+import "testing"
+
+func snapWithHist(name string, bounds []float64, buckets []int64, count int64, sum float64) Snapshot {
+	return Snapshot{Histograms: []HistogramValue{{Name: name, Bounds: bounds, Buckets: buckets, Count: count, Sum: sum}}}
+}
+
+func counterOf(s Snapshot, name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{
+		Counters: []CounterValue{{Name: "c", Value: 3}},
+		Gauges:   []GaugeValue{{Name: "g", Value: 2}},
+	}
+	b := Snapshot{
+		Counters: []CounterValue{{Name: "c", Value: 4}},
+		Gauges:   []GaugeValue{{Name: "g", Value: 7}},
+	}
+	m := MergeSnapshots(a, b)
+	if v, _ := counterOf(m, "c"); v != 7 {
+		t.Errorf("counter sum = %d, want 7", v)
+	}
+	if len(m.Gauges) != 1 || m.Gauges[0].Value != 7 {
+		t.Errorf("gauge max = %+v", m.Gauges)
+	}
+	if _, ok := counterOf(m, "merge.dropped"); ok {
+		t.Error("merge.dropped present without any drop")
+	}
+}
+
+func TestMergeSnapshotsHistogramDrops(t *testing.T) {
+	bounds := []float64{1, 2}
+	for _, tc := range []struct {
+		name        string
+		snaps       []Snapshot
+		wantDropped int64
+		wantCount   int64
+	}{
+		{
+			name: "identical bounds merge bucket-wise",
+			snaps: []Snapshot{
+				snapWithHist("h", bounds, []int64{1, 0, 2}, 3, 5),
+				snapWithHist("h", bounds, []int64{0, 2, 1}, 3, 6),
+			},
+			wantDropped: 0,
+			wantCount:   6,
+		},
+		{
+			name: "mismatched values drop",
+			snaps: []Snapshot{
+				snapWithHist("h", bounds, []int64{1, 0, 0}, 1, 1),
+				snapWithHist("h", []float64{1, 5}, []int64{0, 1, 0}, 1, 2),
+			},
+			wantDropped: 1,
+			wantCount:   1,
+		},
+		{
+			name: "mismatched length drop",
+			snaps: []Snapshot{
+				snapWithHist("h", bounds, []int64{1, 0, 0}, 1, 1),
+				snapWithHist("h", []float64{1}, []int64{0, 1}, 1, 2),
+				snapWithHist("h", []float64{1, 2, 3}, []int64{0, 0, 1, 0}, 1, 3),
+			},
+			wantDropped: 2,
+			wantCount:   1,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MergeSnapshots(tc.snaps...)
+			got, ok := counterOf(m, "merge.dropped")
+			if tc.wantDropped == 0 && ok {
+				t.Errorf("merge.dropped = %d, want absent", got)
+			}
+			if tc.wantDropped > 0 && got != tc.wantDropped {
+				t.Errorf("merge.dropped = %d, want %d", got, tc.wantDropped)
+			}
+			if len(m.Histograms) != 1 {
+				t.Fatalf("histograms = %d, want 1", len(m.Histograms))
+			}
+			if m.Histograms[0].Count != tc.wantCount {
+				t.Errorf("count = %d, want %d (first shape wins)", m.Histograms[0].Count, tc.wantCount)
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ type Collector struct {
 	registry *Registry
 	journal  *Journal
 	profiler *Profiler
+	tracer   *Tracer
 }
 
 // New returns a collector with a fresh registry and no journal or
@@ -67,6 +68,24 @@ func (c *Collector) Profiler() *Profiler {
 	}
 	return c.profiler
 }
+
+// SetTracer attaches (or, with nil, detaches) the detection trace
+// assembler. Attach before the run starts: traces reference wake-genesis
+// marks recorded at ship-add time.
+func (c *Collector) SetTracer(t *Tracer) { c.tracer = t }
+
+// Tracer returns the attached tracer, or nil.
+func (c *Collector) Tracer() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
+}
+
+// Tracing reports whether detection spans should be recorded. Emission
+// sites on hot paths must guard on it so the disabled path allocates
+// nothing, mirroring Journaling().
+func (c *Collector) Tracing() bool { return c != nil && c.tracer != nil }
 
 // Journaling reports whether events should be emitted. Emission sites must
 // guard on it before building a payload so the disabled path allocates

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into the Prometheus exposition
+// charset: dots (and anything else outside [a-zA-Z0-9_:]) become
+// underscores, and a leading digit gets a leading underscore.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-bucketed series with _sum and
+// _count. Snapshot order is name-sorted already, so the output is stable.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		n := PromName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := PromName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		n := PromName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidatePrometheus is a promtool-free lint of the text exposition
+// format: every non-comment line must be `name[{labels}] value`, every
+// sample must be preceded by a # TYPE declaration for its family, and
+// histogram families must end with matching _sum/_count plus a +Inf
+// bucket. It exists so CI can assert ?format=prom output parses without
+// adding a dependency.
+func ValidatePrometheus(b []byte) error {
+	types := map[string]string{}
+	infSeen := map[string]bool{}
+	sums := map[string]bool{}
+	counts := map[string]bool{}
+	family := func(name string) (string, bool) {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name {
+				if _, ok := types[base]; ok && types[base] == "histogram" {
+					return base, true
+				}
+			}
+		}
+		_, ok := types[name]
+		return name, ok
+	}
+	for lineNo, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+					types[fields[2]] = fields[3]
+				default:
+					return fmt.Errorf("prom line %d: unknown type %q", lineNo+1, fields[3])
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("prom line %d: no value separator: %q", lineNo+1, line)
+		}
+		name, value := line[:sp], line[sp+1:]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("prom line %d: unterminated label set: %q", lineNo+1, line)
+			}
+			labels := name[i+1 : len(name)-1]
+			name = name[:i]
+			for _, lv := range strings.Split(labels, ",") {
+				eq := strings.IndexByte(lv, '=')
+				if eq <= 0 || len(lv) < eq+3 || lv[eq+1] != '"' || lv[len(lv)-1] != '"' {
+					return fmt.Errorf("prom line %d: malformed label %q", lineNo+1, lv)
+				}
+			}
+		}
+		if name != PromName(name) {
+			return fmt.Errorf("prom line %d: invalid metric name %q", lineNo+1, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("prom line %d: bad value %q", lineNo+1, value)
+		}
+		fam, declared := family(name)
+		if !declared {
+			return fmt.Errorf("prom line %d: sample %q has no preceding # TYPE", lineNo+1, name)
+		}
+		if types[fam] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket") && strings.Contains(line, `le="+Inf"`):
+				infSeen[fam] = true
+			case strings.HasSuffix(name, "_sum"):
+				sums[fam] = true
+			case strings.HasSuffix(name, "_count"):
+				counts[fam] = true
+			}
+		}
+	}
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		if !infSeen[fam] || !sums[fam] || !counts[fam] {
+			return fmt.Errorf("prom histogram %s: missing +Inf bucket, _sum, or _count", fam)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"sid.reports_sent", "sid_reports_sent"},
+		{"serve.slo.ingest_confirm_ms", "serve_slo_ingest_confirm_ms"},
+		{"9lives", "_9lives"},
+		{"ok_name:sub", "ok_name:sub"},
+		{"sp ace", "sp_ace"},
+	} {
+		if got := PromName(tc.in); got != tc.want {
+			t.Errorf("PromName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sid.reports").Add(12)
+	reg.Gauge("tree.depth").Set(3.5)
+	h := reg.Histogram("serve.slo.detection_e2e_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidatePrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("exposition does not lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE sid_reports counter\nsid_reports 12\n",
+		"# TYPE tree_depth gauge\ntree_depth 3.5\n",
+		"# TYPE serve_slo_detection_e2e_ms histogram\n",
+		`serve_slo_detection_e2e_ms_bucket{le="1"} 1`,
+		`serve_slo_detection_e2e_ms_bucket{le="10"} 2`,
+		`serve_slo_detection_e2e_ms_bucket{le="100"} 3`,
+		`serve_slo_detection_e2e_ms_bucket{le="+Inf"} 4`,
+		"serve_slo_detection_e2e_ms_sum 555.5",
+		"serve_slo_detection_e2e_ms_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidatePrometheusRejects(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"no type", "orphan 1\n"},
+		{"bad name", "# TYPE bad.dot counter\nbad.dot 1\n"},
+		{"bad value", "# TYPE a counter\na one\n"},
+		{"unknown type", "# TYPE a summary\na 1\n"},
+		{"unterminated labels", "# TYPE a counter\na{x=\"1\" 1\n"},
+		{"histogram missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n"},
+	} {
+		if err := ValidatePrometheus([]byte(tc.in)); err == nil {
+			t.Errorf("%s: lint accepted:\n%s", tc.name, tc.in)
+		}
+	}
+	if err := ValidatePrometheus(nil); err != nil {
+		t.Errorf("empty exposition should lint clean: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The registry primitives sit on the per-sample hot path of every traced
+// deployment, so contention matters: these benchmarks hammer one metric
+// from all procs, the worst case for the atomics.
+
+func BenchmarkCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench.count")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("lost increments: %d of %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkGaugeParallel(b *testing.B) {
+	g := NewRegistry().Gauge("bench.gauge")
+	b.RunParallel(func(pb *testing.PB) {
+		var i float64
+		for pb.Next() {
+			i++
+			g.Set(i)
+		}
+	})
+	if g.Value() == 0 {
+		b.Fatal("gauge never set")
+	}
+}
+
+func BenchmarkHistogramParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist", []float64{1, 2, 5, 10, 100})
+	var n atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(float64(n.Add(1) % 128))
+		}
+	})
+}

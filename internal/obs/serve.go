@@ -46,12 +46,17 @@ func PublishRegistry(reg *Registry) {
 	})
 }
 
-// RegisterDebug mounts the debug routes — /debug/pprof/* and /debug/vars —
-// onto an existing mux, so servers with their own API surface (the
-// detection server) can carry the same diagnostics endpoints Serve exposes
-// instead of binding a second port.
-func RegisterDebug(mux *http.ServeMux) {
+// RegisterDebug mounts the debug routes — /debug/vars always, and
+// /debug/pprof/* only when enablePProf is set — onto an existing mux, so
+// servers with their own API surface (the detection server) can carry the
+// same diagnostics endpoints Serve exposes instead of binding a second
+// port. pprof is opt-in for outward-facing servers: CPU and trace
+// profiling are a denial-of-service surface on a multi-tenant box.
+func RegisterDebug(mux *http.ServeMux, enablePProf bool) {
 	mux.Handle("/debug/vars", expvar.Handler())
+	if !enablePProf {
+		return
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -65,7 +70,7 @@ func RegisterDebug(mux *http.ServeMux) {
 func Serve(addr string, reg *Registry) (*Server, error) {
 	PublishRegistry(reg)
 	mux := http.NewServeMux()
-	RegisterDebug(mux)
+	RegisterDebug(mux, true)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)

@@ -1,0 +1,417 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Span kinds emitted by the pipeline and serving layers. A confirmed
+// detection's causal trace is the ordered set of these from wake genesis
+// to the served event.
+const (
+	SpanWakeGenesis   = "wake.genesis"    // sim-time of the ship crossing that caused the trace
+	SpanNodeOnset     = "node.onset"      // a node's wake-onset window → its detection report
+	SpanReportTx      = "report.tx"       // member report in flight: send → head accept
+	SpanReportReject  = "report.reject"   // defense layer rejected a report at the head
+	SpanHopRetransmit = "hop.retransmit"  // one ARQ retransmission on a traced hop
+	SpanHopDrop       = "hop.drop"        // ARQ gave up on a traced hop
+	SpanFailoverElect = "failover.elect"  // a member replaced a dead cluster head
+	SpanClusterColl   = "cluster.collect" // temp-cluster report collection window
+	SpanClusterEval   = "cluster.eval"    // head correlation evaluation (sim-instant, wall overlay)
+	SpanSpeedEstimate = "speed.estimate"  // arrival-law speed fit (sim-instant, wall overlay)
+	SpanSinkConfirm   = "sink.confirm"    // head send → sink confirmation
+	SpanServeIngest   = "serve.ingest"    // serving layer: the chunk whose processing confirmed the trace
+	SpanServeDeliver  = "serve.deliver"   // serving layer: detection event delivery to subscribers
+)
+
+// Span is one interval of a detection trace. Start and End are simulation
+// seconds; instantaneous protocol steps (evaluation, election) have
+// Start == End. WallNs is an optional wall-clock overlay with the same
+// discipline as the profiler: it never enters the deterministic
+// serialization (SerializePipeline zeroes it), so enabling it cannot
+// perturb a pinned trace.
+type Span struct {
+	Trace  string  `json:"trace,omitempty"`
+	Kind   string  `json:"kind"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Node   int     `json:"node"`
+	Peer   int     `json:"peer,omitempty"`
+	Seq    int     `json:"seq,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Note   string  `json:"note,omitempty"`
+	WallNs int64   `json:"wall_ns,omitempty"`
+}
+
+// GenesisMark records the simulation time a ship's wake entered the run —
+// the causal root every confirmed trace is linked back to.
+type GenesisMark struct {
+	Ship int     `json:"ship"`
+	T    float64 `json:"t"`
+	Note string  `json:"note,omitempty"`
+}
+
+// TraceDoc is one confirmed detection's complete trace: the deterministic
+// pipeline spans plus any serving-layer spans attached after confirmation.
+type TraceDoc struct {
+	ID    string `json:"id"`
+	Spans []Span `json:"spans"`
+	Serve []Span `json:"serve,omitempty"`
+}
+
+// TraceSet is the JSON document served at /v1/tenants/{id}/traces and
+// consumed by `sidwatch trace`.
+type TraceSet struct {
+	Label   string        `json:"label,omitempty"`
+	Genesis []GenesisMark `json:"genesis,omitempty"`
+	Traces  []TraceDoc    `json:"traces"`
+}
+
+// traceBuild accumulates spans for one temporary cluster from setup until
+// sink confirmation (or cancellation). The wire key is stable across
+// failovers; the head index the build is filed under follows the election.
+type traceBuild struct {
+	key       string
+	head      int     // head at setup time (a TraceID component)
+	sender    int     // head at sink-send time (differs after failover)
+	deadline  float64 // collection deadline at setup time (a TraceID component)
+	spans     []Span
+	pendingTx map[int]float64 // member node → report send time
+	sinkSent  float64
+	id        string // final TraceID, set at confirmation
+	dead      bool   // cancelled: late spans are dropped
+}
+
+// Tracer assembles causal detection traces. Every mutating call happens in
+// a scheduler-serial phase (block consumption, message handlers, deadline
+// and ARQ timers) — the same discipline as the journal — so the
+// deterministic serialization is byte-identical across worker counts.
+// TraceIDs are pure functions of deterministic run state (label, ship,
+// cluster head, collection deadline), never of wall time.
+type Tracer struct {
+	mu     sync.Mutex
+	label  string
+	marks  []GenesisMark
+	active map[int]*traceBuild    // keyed by current head
+	byKey  map[string]*traceBuild // wire-key aliases (wsn hop spans)
+	wait   map[string]*traceBuild // detached at sink-send, awaiting arrival
+	done   []*traceBuild          // confirmed, in confirmation order
+	serve  map[string][]Span      // TraceID → serving-layer spans
+}
+
+// NewTracer returns a tracer whose TraceIDs are namespaced by label
+// (typically the serving tenant ID; empty for in-process runs that don't
+// need a namespace).
+func NewTracer(label string) *Tracer {
+	return &Tracer{
+		label:  label,
+		active: map[int]*traceBuild{},
+		byKey:  map[string]*traceBuild{},
+		wait:   map[string]*traceBuild{},
+		serve:  map[string][]Span{},
+	}
+}
+
+// Label returns the tracer's TraceID namespace.
+func (t *Tracer) Label() string { return t.label }
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Genesis records a wake-genesis mark: ship entered the simulation with
+// its crossing centered at sim-time tc. Confirmed traces link to the
+// nearest preceding mark.
+func (t *Tracer) Genesis(ship int, tc float64, note string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.marks = append(t.marks, GenesisMark{Ship: ship, T: tc, Note: note})
+}
+
+// StartCluster opens a trace build for a temporary cluster formed by head
+// at time now with collection deadline deadline. The build's wire key —
+// stamped into traced messages — is derived from the same state as the
+// eventual TraceID, so it is identical across worker counts.
+func (t *Tracer) StartCluster(head int, now, deadline float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := t.label + "/c" + strconv.Itoa(head) + "@" + fmtF(deadline)
+	b := &traceBuild{
+		key:       key,
+		head:      head,
+		deadline:  deadline,
+		pendingTx: map[int]float64{},
+	}
+	b.spans = append(b.spans, Span{Kind: SpanClusterColl, Start: now, End: deadline, Node: head})
+	t.active[head] = b
+	t.byKey[key] = b
+}
+
+// KeyOf returns the wire key of head's active cluster ("" if none) for
+// tagging outbound messages so the radio layer can attach hop spans.
+func (t *Tracer) KeyOf(head int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.active[head]; ok {
+		return b.key
+	}
+	return ""
+}
+
+// Add appends a span to head's active trace build (no-op if none).
+func (t *Tracer) Add(head int, s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.active[head]; ok {
+		b.spans = append(b.spans, s)
+	}
+}
+
+// AddByKey appends a span to the build owning the wire key — the radio
+// layer's entry point for ARQ retransmission/drop spans, which may land
+// after the trace has already been confirmed (a lost ACK retransmits a
+// frame the receiver consumed long ago).
+func (t *Tracer) AddByKey(key string, s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.byKey[key]; ok && !b.dead {
+		b.spans = append(b.spans, s)
+	}
+}
+
+// Extend moves the collection window's end to the extended deadline. The
+// TraceID keeps the original deadline — identity is fixed at setup.
+func (t *Tracer) Extend(head int, deadline float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.active[head]
+	if !ok {
+		return
+	}
+	for i := range b.spans {
+		if b.spans[i].Kind == SpanClusterColl {
+			b.spans[i].End = deadline
+			return
+		}
+	}
+}
+
+// TxStart records a member report leaving node for head at time now.
+func (t *Tracer) TxStart(head, node int, now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.active[head]; ok {
+		b.pendingTx[node] = now
+	}
+}
+
+// TxEnd closes a member report-transmission span at head acceptance.
+func (t *Tracer) TxEnd(head, node int, now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.active[head]
+	if !ok {
+		return
+	}
+	if start, ok := b.pendingTx[node]; ok {
+		delete(b.pendingTx, node)
+		b.spans = append(b.spans, Span{Kind: SpanReportTx, Start: start, End: now, Node: node, Peer: head})
+	}
+}
+
+// Failover re-files old's build under the elected head and records the
+// election. The wire key and TraceID components are unchanged: the trace
+// is the cluster's, not the head's.
+func (t *Tracer) Failover(old, elected int, now float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.active[old]
+	if !ok {
+		return
+	}
+	delete(t.active, old)
+	t.active[elected] = b
+	b.spans = append(b.spans, Span{Kind: SpanFailoverElect, Start: now, End: now, Node: elected, Peer: old})
+}
+
+// Cancel drops head's active build (cluster cancelled: head dead with no
+// successor, too few reports, or evaluation rejected). Late hop spans for
+// its key are discarded.
+func (t *Tracer) Cancel(head int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.active[head]; ok {
+		b.dead = true
+		delete(t.active, head)
+	}
+}
+
+// Detach records the head handing its confirmation to the routing layer
+// and moves the build out of the head-keyed active set into the
+// awaiting-confirmation set — the same node may legitimately form a new
+// cluster while its report is still in flight to the sink. Returns the
+// wire key to stamp on the sink-report frame ("" if no active build);
+// ConfirmByKey finalizes against that key at sink arrival.
+func (t *Tracer) Detach(head int, now float64) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.active[head]
+	if !ok {
+		return ""
+	}
+	delete(t.active, head)
+	b.sender = head
+	b.sinkSent = now
+	t.wait[b.key] = b
+	return b.key
+}
+
+// ConfirmByKey finalizes a detached build at sink arrival time now: links
+// the trace to its genesis mark (the latest mark at or before the
+// collection window's start, i.e. the crossing that caused it), derives
+// the TraceID from (label, ship, cluster head, deadline), and moves the
+// build to the confirmed set. Returns the TraceID ("" if the key is
+// unknown).
+func (t *Tracer) ConfirmByKey(key string, now float64) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.wait[key]
+	if !ok {
+		return ""
+	}
+	delete(t.wait, key)
+
+	start := b.deadline
+	if len(b.spans) > 0 {
+		start = b.spans[0].Start
+	}
+	ship := -1
+	var markT float64
+	var markNote string
+	for _, m := range t.marks {
+		if m.T <= start && (ship < 0 || m.T >= markT) {
+			ship, markT, markNote = m.Ship, m.T, m.Note
+		}
+	}
+	if ship < 0 && len(t.marks) > 0 {
+		// All marks are in the future of the window: attribute to the
+		// earliest (deterministic fallback for early-threshold noise).
+		first := t.marks[0]
+		for _, m := range t.marks[1:] {
+			if m.T < first.T {
+				first = m
+			}
+		}
+		ship, markT, markNote = first.Ship, first.T, first.Note
+	}
+	if ship >= 0 {
+		b.spans = append(b.spans, Span{Kind: SpanWakeGenesis, Start: markT, End: markT, Node: -1, Seq: ship, Note: markNote})
+	}
+	sent := b.sinkSent
+	if sent == 0 {
+		sent = now
+	}
+	b.spans = append(b.spans, Span{Kind: SpanSinkConfirm, Start: sent, End: now, Node: b.sender})
+
+	b.id = t.label + "/s" + strconv.Itoa(ship) + "/c" + strconv.Itoa(b.head) + "@" + fmtF(b.deadline)
+	t.done = append(t.done, b)
+	return b.id
+}
+
+// ConfirmedIDs returns the TraceIDs of confirmed traces in confirmation
+// order — index-aligned with the runtime's sink-report slice.
+func (t *Tracer) ConfirmedIDs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]string, len(t.done))
+	for i, b := range t.done {
+		ids[i] = b.id
+	}
+	return ids
+}
+
+// ServeSpan attaches a serving-layer span to a confirmed trace. Serving
+// spans live outside the deterministic serialization (they carry
+// wall-clock overlays and depend on ingest chunking), like the profiler
+// lives outside the journal.
+func (t *Tracer) ServeSpan(id string, s Span) {
+	if id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.serve[id] = append(t.serve[id], s)
+}
+
+// sortSpans orders spans canonically: by start, end, kind, node, peer,
+// seq. Emission order is already deterministic (serial phases only), but
+// the canonical order makes the serialized form robust to refactors that
+// reorder same-instant emissions.
+func sortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// SerializePipeline renders every confirmed trace's pipeline spans as
+// canonical JSONL: traces sorted by TraceID, spans in canonical order,
+// wall-clock overlays zeroed. This is the byte-identical form — the same
+// golden scenario serializes to the same bytes for any worker count,
+// in-process or over the wire.
+func (t *Tracer) SerializePipeline() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	builds := append([]*traceBuild(nil), t.done...)
+	sort.Slice(builds, func(i, j int) bool { return builds[i].id < builds[j].id })
+	var out []byte
+	for _, b := range builds {
+		spans := append([]Span(nil), b.spans...)
+		sortSpans(spans)
+		for _, s := range spans {
+			s.Trace = b.id
+			s.WallNs = 0
+			line, err := json.Marshal(s)
+			if err != nil {
+				continue
+			}
+			out = append(out, line...)
+			out = append(out, '\n')
+		}
+	}
+	return out
+}
+
+// Traces returns the full trace set — pipeline spans with wall overlays
+// intact plus serving-layer spans — in confirmation order.
+func (t *Tracer) Traces() TraceSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := TraceSet{Label: t.label, Genesis: append([]GenesisMark(nil), t.marks...)}
+	set.Traces = make([]TraceDoc, 0, len(t.done))
+	for _, b := range t.done {
+		spans := append([]Span(nil), b.spans...)
+		sortSpans(spans)
+		doc := TraceDoc{ID: b.id, Spans: spans}
+		if sv := t.serve[b.id]; len(sv) > 0 {
+			doc.Serve = append([]Span(nil), sv...)
+		}
+		set.Traces = append(set.Traces, doc)
+	}
+	return set
+}

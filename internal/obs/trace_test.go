@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func kindsOf(spans []Span) map[string]int {
+	m := map[string]int{}
+	for _, s := range spans {
+		m[s.Kind]++
+	}
+	return m
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer("t1")
+	tr.Genesis(0, 60, "crossing")
+	tr.Genesis(1, 90, "crossing")
+
+	tr.StartCluster(5, 62, 152)
+	if got := tr.KeyOf(5); got != "t1/c5@152" {
+		t.Errorf("KeyOf = %q", got)
+	}
+	tr.Add(5, Span{Kind: SpanNodeOnset, Start: 61, End: 64, Node: 5})
+	tr.TxStart(5, 7, 65)
+	tr.TxEnd(5, 7, 65.4)
+	tr.TxEnd(5, 5, 66) // head's own report: never opened, must be a no-op
+
+	key := tr.Detach(5, 152)
+	if key != "t1/c5@152" {
+		t.Fatalf("Detach key = %q", key)
+	}
+	if got := tr.KeyOf(5); got != "" {
+		t.Errorf("KeyOf after detach = %q, want empty", got)
+	}
+	id := tr.ConfirmByKey(key, 152.8)
+	// Genesis link: window starts at 62, ship 0 crossed at 60 (ship 1 at 90
+	// is later than the start) → the trace belongs to ship 0.
+	if want := "t1/s0/c5@152"; id != want {
+		t.Fatalf("TraceID = %q, want %q", id, want)
+	}
+	if ids := tr.ConfirmedIDs(); len(ids) != 1 || ids[0] != id {
+		t.Errorf("ConfirmedIDs = %v", ids)
+	}
+
+	set := tr.Traces()
+	if len(set.Traces) != 1 || set.Traces[0].ID != id {
+		t.Fatalf("Traces = %+v", set.Traces)
+	}
+	k := kindsOf(set.Traces[0].Spans)
+	for _, want := range []string{SpanClusterColl, SpanNodeOnset, SpanReportTx, SpanWakeGenesis, SpanSinkConfirm} {
+		if k[want] != 1 {
+			t.Errorf("span kind %s count = %d, want 1 (have %v)", want, k[want], k)
+		}
+	}
+	for _, s := range set.Traces[0].Spans {
+		switch s.Kind {
+		case SpanReportTx:
+			if s.Start != 65 || s.End != 65.4 || s.Node != 7 || s.Peer != 5 {
+				t.Errorf("report.tx span = %+v", s)
+			}
+		case SpanSinkConfirm:
+			if s.Start != 152 || s.End != 152.8 || s.Node != 5 {
+				t.Errorf("sink.confirm span = %+v", s)
+			}
+		case SpanWakeGenesis:
+			if s.Start != 60 || s.Seq != 0 || s.Note != "crossing" {
+				t.Errorf("wake.genesis span = %+v", s)
+			}
+		}
+	}
+}
+
+func TestTracerFailoverRekeys(t *testing.T) {
+	tr := NewTracer("")
+	tr.Genesis(0, 10, "")
+	tr.StartCluster(3, 12, 100)
+	key := tr.KeyOf(3)
+	tr.Failover(3, 8, 50)
+	if got := tr.KeyOf(3); got != "" {
+		t.Errorf("old head still active: %q", got)
+	}
+	// The wire key survives the election — in-flight frames still attach.
+	if got := tr.KeyOf(8); got != key {
+		t.Errorf("KeyOf(elected) = %q, want %q", got, key)
+	}
+	tr.AddByKey(key, Span{Kind: SpanHopRetransmit, Start: 51, End: 51, Node: 2, Peer: 8, Seq: 1})
+	got := tr.ConfirmByKey(tr.Detach(8, 100), 100.5)
+	// TraceID keeps the setup-time head: identity is the cluster's.
+	if want := "/s0/c3@100"; got != want {
+		t.Errorf("TraceID after failover = %q, want %q", got, want)
+	}
+	set := tr.Traces()
+	k := kindsOf(set.Traces[0].Spans)
+	if k[SpanFailoverElect] != 1 || k[SpanHopRetransmit] != 1 {
+		t.Errorf("kinds = %v", k)
+	}
+	for _, s := range set.Traces[0].Spans {
+		if s.Kind == SpanSinkConfirm && s.Node != 8 {
+			t.Errorf("sink.confirm sender = %d, want elected head 8", s.Node)
+		}
+	}
+}
+
+func TestTracerCancelDropsLateSpans(t *testing.T) {
+	tr := NewTracer("")
+	tr.StartCluster(4, 5, 95)
+	key := tr.KeyOf(4)
+	tr.Cancel(4)
+	tr.AddByKey(key, Span{Kind: SpanHopRetransmit, Start: 96, End: 96}) // late ARQ: dropped
+	if got := tr.Detach(4, 95); got != "" {
+		t.Errorf("Detach after cancel = %q, want empty", got)
+	}
+	if id := tr.ConfirmByKey(key, 96); id != "" {
+		t.Errorf("ConfirmByKey after cancel = %q, want empty", id)
+	}
+	if set := tr.Traces(); len(set.Traces) != 0 {
+		t.Errorf("cancelled build confirmed: %+v", set.Traces)
+	}
+}
+
+func TestTracerExtendKeepsIdentity(t *testing.T) {
+	tr := NewTracer("")
+	tr.Genesis(2, 1, "")
+	tr.StartCluster(0, 2, 50)
+	tr.Extend(0, 80)
+	id := tr.ConfirmByKey(tr.Detach(0, 80), 80.2)
+	// Identity pins the setup-time deadline even though the window grew.
+	if want := "/s2/c0@50"; id != want {
+		t.Errorf("TraceID = %q, want %q", id, want)
+	}
+	set := tr.Traces()
+	for _, s := range set.Traces[0].Spans {
+		if s.Kind == SpanClusterColl && s.End != 80 {
+			t.Errorf("collect window end = %g, want extended 80", s.End)
+		}
+	}
+}
+
+func TestTracerGenesisFallback(t *testing.T) {
+	// All marks are in the future of the collection window: attribute to
+	// the earliest mark rather than leaving the trace shipless.
+	tr := NewTracer("")
+	tr.Genesis(3, 200, "")
+	tr.Genesis(1, 150, "")
+	tr.StartCluster(0, 10, 100)
+	id := tr.ConfirmByKey(tr.Detach(0, 100), 101)
+	if want := "/s1/c0@100"; id != want {
+		t.Errorf("fallback TraceID = %q, want %q", id, want)
+	}
+
+	// No marks at all: ship is -1 and no wake.genesis span is emitted.
+	tr2 := NewTracer("")
+	tr2.StartCluster(0, 10, 100)
+	id2 := tr2.ConfirmByKey(tr2.Detach(0, 100), 101)
+	if want := "/s-1/c0@100"; id2 != want {
+		t.Errorf("markless TraceID = %q, want %q", id2, want)
+	}
+	if k := kindsOf(tr2.Traces().Traces[0].Spans); k[SpanWakeGenesis] != 0 {
+		t.Errorf("markless trace grew a genesis span: %v", k)
+	}
+}
+
+func TestTracerDetachAllowsNewCluster(t *testing.T) {
+	// The same node may form a second cluster while its first sink report
+	// is in flight; both must confirm under distinct TraceIDs.
+	tr := NewTracer("")
+	tr.Genesis(0, 5, "")
+	tr.StartCluster(9, 6, 50)
+	k1 := tr.Detach(9, 50)
+	tr.StartCluster(9, 55, 120) // before the first confirms
+	k2 := tr.Detach(9, 120)
+	if k1 == k2 {
+		t.Fatalf("wire keys collide: %q", k1)
+	}
+	id1 := tr.ConfirmByKey(k1, 51)
+	id2 := tr.ConfirmByKey(k2, 121)
+	if id1 == "" || id2 == "" || id1 == id2 {
+		t.Errorf("ids = %q, %q", id1, id2)
+	}
+	if ids := tr.ConfirmedIDs(); len(ids) != 2 || ids[0] != id1 || ids[1] != id2 {
+		t.Errorf("confirmation order = %v", ids)
+	}
+}
+
+func TestSerializePipelineDeterministicAndWallFree(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer("x")
+		tr.Genesis(0, 30, "crossing")
+		tr.StartCluster(2, 31, 90)
+		tr.Add(2, Span{Kind: SpanClusterEval, Start: 90, End: 90, Node: 2, WallNs: 123456})
+		tr.ConfirmByKey(tr.Detach(2, 90), 90.5)
+		return tr
+	}
+	a, b := build().SerializePipeline(), build().SerializePipeline()
+	if !bytes.Equal(a, b) {
+		t.Errorf("serialization not reproducible:\n%s\n%s", a, b)
+	}
+	if strings.Contains(string(a), "wall_ns") {
+		t.Errorf("wall clock leaked into the deterministic serialization:\n%s", a)
+	}
+	tr := build()
+	// Serve spans carry wall overlays and never enter the pipeline form.
+	tr.ServeSpan(tr.ConfirmedIDs()[0], Span{Kind: SpanServeIngest, Start: 0, End: 10, WallNs: 9e6})
+	if !bytes.Equal(tr.SerializePipeline(), a) {
+		t.Error("serve spans changed the pipeline serialization")
+	}
+	set := tr.Traces()
+	if len(set.Traces[0].Serve) != 1 || set.Traces[0].Serve[0].WallNs != 9e6 {
+		t.Errorf("serve spans missing from Traces(): %+v", set.Traces[0])
+	}
+	// Wall overlays stay intact in the full trace set.
+	found := false
+	for _, s := range set.Traces[0].Spans {
+		if s.Kind == SpanClusterEval && s.WallNs == 123456 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wall overlay stripped from Traces()")
+	}
+}
+
+func TestCollectorTracerNilSafety(t *testing.T) {
+	var c *Collector
+	if c.Tracing() {
+		t.Error("nil collector tracing")
+	}
+	if c.Tracer() != nil {
+		t.Error("nil collector returned a tracer")
+	}
+	col := New()
+	if col.Tracing() {
+		t.Error("collector without tracer reports tracing")
+	}
+	col.SetTracer(NewTracer("z"))
+	if !col.Tracing() || col.Tracer().Label() != "z" {
+		t.Error("SetTracer not visible")
+	}
+}

@@ -27,6 +27,10 @@ type FeedSpec struct {
 	// Journal captures the run's JSONL journal for wire-determinism
 	// comparisons.
 	Journal bool
+	// TraceLabel, when non-empty, attaches a detection tracer under this
+	// label (use the tenant ID the feed will be replayed into) and captures
+	// the run's deterministic trace serialization for wire comparisons.
+	TraceLabel string
 }
 
 // Feed is a replayable ingest load: the encoded bundle chunks of a
@@ -43,6 +47,14 @@ type Feed struct {
 	// Journal is the recorded run's JSONL journal (nil unless requested).
 	// A served tenant with journaling on must forward these exact lines.
 	Journal []byte
+	// Genesis holds the wake-genesis marks of the recorded intruders (one
+	// per intruder, in order) — pass them in the tenant's CreateRequest so
+	// the served traces link to the same causal roots.
+	Genesis []obs.GenesisMark
+	// Trace is the recorded run's deterministic trace serialization (nil
+	// unless TraceLabel was set). A served tenant created with the same
+	// label and genesis marks must serve these exact bytes.
+	Trace []byte
 }
 
 // BuildFeed runs the deployment once in process with a recording attached
@@ -58,11 +70,18 @@ func BuildFeed(fs FeedSpec) (*Feed, error) {
 	rec := &source.Recording{}
 	rc.RecordTo = rec
 	var buf bytes.Buffer
-	if fs.Journal {
+	var tr *obs.Tracer
+	if fs.Journal || fs.TraceLabel != "" {
 		col := obs.New()
-		j := obs.NewJournal(0)
-		j.SetSink(&buf)
-		col.SetJournal(j)
+		if fs.Journal {
+			j := obs.NewJournal(0)
+			j.SetSink(&buf)
+			col.SetJournal(j)
+		}
+		if fs.TraceLabel != "" {
+			tr = obs.NewTracer(fs.TraceLabel)
+			col.SetTracer(tr)
+		}
 		rc.Obs = col
 	}
 	rt, err := isid.NewRuntime(rc)
@@ -70,6 +89,14 @@ func BuildFeed(fs FeedSpec) (*Feed, error) {
 		return nil, err
 	}
 	center := rc.Grid.Center()
+	var genesis []obs.GenesisMark
+	if tr != nil {
+		for i, in := range fs.Intruders {
+			m := obs.GenesisMark{Ship: i, T: in.CrossAt, Note: "crossing"}
+			tr.Genesis(m.Ship, m.T, m.Note)
+			genesis = append(genesis, m)
+		}
+	}
 	for _, in := range fs.Intruders {
 		ship, err := wake.CrossingShip(center,
 			in.SpeedKnots, in.HeadingDeg, in.OffsetM, in.CrossAt, in.LengthM)
@@ -98,6 +125,10 @@ func BuildFeed(fs FeedSpec) (*Feed, error) {
 	}
 	if fs.Journal {
 		feed.Journal = append([]byte(nil), buf.Bytes()...)
+	}
+	if tr != nil {
+		feed.Genesis = genesis
+		feed.Trace = tr.SerializePipeline()
 	}
 	return feed, nil
 }

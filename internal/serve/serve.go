@@ -34,6 +34,9 @@ type Config struct {
 	SubscriberBuffer int
 	// MaxBodyBytes caps ingest and create bodies (0 = 32 MiB).
 	MaxBodyBytes int64
+	// PProf exposes net/http/pprof on the debug mux. Off by default: the
+	// profiling endpoints are a DoS surface on a multi-tenant box.
+	PProf bool
 }
 
 func (c Config) withDefaults() Config {
@@ -109,8 +112,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tenants/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/detections", s.handleDetections)
 	s.mux.HandleFunc("GET /v1/tenants/{id}/metrics", s.handleTenantMetrics)
+	s.mux.HandleFunc("GET /v1/tenants/{id}/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	obs.RegisterDebug(s.mux)
+	obs.RegisterDebug(s.mux, cfg.PProf)
 	return s
 }
 
@@ -415,23 +419,58 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTenantMetrics(w http.ResponseWriter, r *http.Request) {
 	if t := s.lookup(w, r); t != nil {
-		writeJSON(w, http.StatusOK, t.col.Registry().Snapshot())
+		writeMetrics(w, r, obs.MergeSnapshots(t.col.Registry().Snapshot(), t.sloReg.Snapshot()))
 	}
 }
 
-// handleMetrics serves the aggregate view: every tenant's registry merged
-// with the server's own via obs.MergeSnapshots (counters sum, gauges take
-// the fleet-wide max, histograms merge bucket-wise).
+// handleMetrics serves the aggregate view: every tenant's registry (and
+// wall-clock SLO registry) merged with the server's own via
+// obs.MergeSnapshots (counters sum, gauges take the fleet-wide max,
+// histograms merge bucket-wise).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	snaps := []obs.Snapshot{s.reg.Snapshot()}
 	for _, t := range s.tenants {
 		if t != nil {
-			snaps = append(snaps, t.col.Registry().Snapshot())
+			snaps = append(snaps, t.col.Registry().Snapshot(), t.sloReg.Snapshot())
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, obs.MergeSnapshots(snaps...))
+	writeMetrics(w, r, obs.MergeSnapshots(snaps...))
+}
+
+// writeMetrics renders a snapshot as JSON or, with ?format=prom, as
+// Prometheus text exposition format 0.0.4.
+func writeMetrics(w http.ResponseWriter, r *http.Request, snap obs.Snapshot) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WritePrometheus(w, snap)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTraces serves a traced tenant's confirmed detection traces: the
+// full TraceSet (genesis marks, pipeline spans with wall overlays, serving
+// spans) as JSON, or with ?format=jsonl the deterministic pipeline-span
+// serialization — the byte-identical form the integration tests pin.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	t := s.lookup(w, r)
+	if t == nil {
+		return
+	}
+	if t.tracer == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("tenant %q was created without tracing", t.id))
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(t.tracer.SerializePipeline())
+		return
+	}
+	writeJSON(w, http.StatusOK, t.tracer.Traces())
 }
 
 // marshalEvent builds one obs.Event-shaped JSONL line (no trailing

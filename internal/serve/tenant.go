@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	sidapi "github.com/sid-wsn/sid"
 	"github.com/sid-wsn/sid/internal/geo"
@@ -12,12 +13,15 @@ import (
 	"github.com/sid-wsn/sid/internal/source"
 )
 
-// chunkJob is one accepted ingest unit queued for the tenant loop.
+// chunkJob is one accepted ingest unit queued for the tenant loop. wall is
+// the accept time; the SLO histograms measure queue wait + pipeline time
+// from it.
 type chunkJob struct {
 	seq     int
 	dur     float64
 	nodes   [][]sensor.Sample
 	samples int
+	wall    time.Time
 }
 
 // event is one line of a tenant's output stream: the SSE event name and
@@ -47,11 +51,19 @@ type tenant struct {
 	rt       *isid.Runtime
 	push     *source.Push
 	col      *obs.Collector
+	tracer   *obs.Tracer // nil unless the tenant was created with Trace
 	rate     float64
 	scale    float64
 	batchS   float64
 	nodes    int
 	queueCap int
+
+	// sloReg is a separate wall-clock registry: the pipeline registry holds
+	// only sim-deterministic values, and latency SLOs are inherently wall
+	// time — same separation as journal vs profiler.
+	sloReg     *obs.Registry
+	hSLOIngest *obs.Histogram // serve.slo.ingest_confirm_ms
+	hSLOE2E    *obs.Histogram // serve.slo.detection_e2e_ms
 
 	ingest  chan chunkJob
 	closing chan struct{} // closed once: no new ingest, loop drains and exits
@@ -88,7 +100,18 @@ type CreateRequest struct {
 	// Journal turns on the pipeline's event journal; its JSONL lines are
 	// forwarded verbatim on the tenant's event stream.
 	Journal bool `json:"journal,omitempty"`
+	// Trace turns on detection tracing: every sink-confirmed detection
+	// carries a causal span trace served at /v1/tenants/{id}/traces.
+	Trace bool `json:"trace,omitempty"`
+	// Genesis seeds the tracer's wake-genesis marks — the producer knows
+	// when its recorded ships cross; the server only sees samples.
+	Genesis []obs.GenesisMark `json:"genesis,omitempty"`
 }
+
+// sloBoundsMs are the latency histogram bounds (milliseconds) for the
+// per-tenant SLO histograms: ingest-confirm (chunk accept → ingest ack)
+// and detection-e2e (chunk accept → detection event delivered).
+var sloBoundsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
 // CreateResponse confirms tenant creation.
 type CreateResponse struct {
@@ -150,6 +173,7 @@ func newTenant(srv *Server, id string, req CreateRequest) (*tenant, error) {
 	rc.Source = push
 	col := obs.New()
 	rc.Obs = col
+	sloReg := obs.NewRegistry()
 	t := &tenant{
 		id:       id,
 		srv:      srv,
@@ -164,6 +188,18 @@ func newTenant(srv *Server, id string, req CreateRequest) (*tenant, error) {
 		closing:  make(chan struct{}),
 		done:     make(chan struct{}),
 		subs:     map[*subscriber]struct{}{},
+
+		sloReg:     sloReg,
+		hSLOIngest: sloReg.Histogram("serve.slo.ingest_confirm_ms", sloBoundsMs),
+		hSLOE2E:    sloReg.Histogram("serve.slo.detection_e2e_ms", sloBoundsMs),
+	}
+	if req.Trace {
+		tr := obs.NewTracer(id)
+		for _, m := range req.Genesis {
+			tr.Genesis(m.Ship, m.T, m.Note)
+		}
+		col.SetTracer(tr)
+		t.tracer = tr
 	}
 	if req.Journal {
 		j := obs.NewJournal(0)
@@ -207,7 +243,7 @@ func (t *tenant) enqueue(dur float64, nodes [][]sensor.Sample, samples int) (Ing
 	if t.failed != nil {
 		return IngestResponse{}, fmt.Errorf("%w: %v", errFailed, t.failed)
 	}
-	job := chunkJob{seq: t.seq, dur: dur, nodes: nodes, samples: samples}
+	job := chunkJob{seq: t.seq, dur: dur, nodes: nodes, samples: samples, wall: time.Now()}
 	select {
 	case t.ingest <- job:
 	default:
@@ -274,14 +310,34 @@ func (t *tenant) process(job chunkJob) {
 	}
 	t.mu.Lock()
 	have := len(t.dets)
+	startS := t.processedS
 	t.mu.Unlock()
 	reports := t.rt.SinkReports()
-	for _, r := range reports[have:] {
+	var ids []string
+	if t.tracer != nil && len(reports) > have {
+		ids = t.tracer.ConfirmedIDs()
+	}
+	for i, r := range reports[have:] {
 		det := toDetection(r)
 		t.mu.Lock()
 		t.dets = append(t.dets, det)
 		t.mu.Unlock()
 		t.emit(KindDetection, det)
+		e2e := time.Since(job.wall)
+		t.hSLOE2E.Observe(float64(e2e) / float64(time.Millisecond))
+		// ConfirmedIDs is index-aligned with SinkReports; attach the
+		// serving-layer spans to the detection's trace.
+		if di := have + i; di < len(ids) {
+			simNow := t.rt.Scheduler().Now()
+			t.tracer.ServeSpan(ids[di], obs.Span{
+				Kind: obs.SpanServeIngest, Start: startS, End: startS + job.dur,
+				Node: -1, Seq: job.seq, WallNs: e2e.Nanoseconds(),
+			})
+			t.tracer.ServeSpan(ids[di], obs.Span{
+				Kind: obs.SpanServeDeliver, Start: simNow, End: simNow,
+				Node: -1, Seq: job.seq, WallNs: time.Since(job.wall).Nanoseconds(),
+			})
+		}
 	}
 	t.mu.Lock()
 	t.processedS += job.dur
@@ -289,6 +345,7 @@ func (t *tenant) process(job chunkJob) {
 	t.mu.Unlock()
 	t.srv.ctrChunks.Inc()
 	t.emit(KindIngest, IngestDone{Seq: job.seq, TEnd: tEnd, Samples: job.samples})
+	t.hSLOIngest.Observe(float64(time.Since(job.wall)) / float64(time.Millisecond))
 }
 
 // fail records a sticky pipeline error and tells the stream.

@@ -164,6 +164,9 @@ func (r *Runtime) claimHead(ns *nodeState, epoch int) {
 			Old: int(old), New: int(ns.id),
 		})
 	}
+	if r.col.Tracing() {
+		r.col.Tracer().Failover(int(old), int(ns.id), now)
+	}
 	if ns.hasReport {
 		r.acceptReport(ns, ns.lastReport)
 	}
@@ -198,6 +201,12 @@ func (r *Runtime) onTakeover(ns *nodeState, p TakeoverPayload) {
 	ns.headID = p.New
 	r.observeHead(ns)
 	if ns.hasReport {
-		r.countSend(ns.id, r.net.SendMultiHop(ns.id, p.New, KindReport, ns.lastReport))
+		trace := ""
+		if r.col.Tracing() {
+			tr := r.col.Tracer()
+			tr.TxStart(int(p.New), int(ns.id), now)
+			trace = tr.KeyOf(int(p.New))
+		}
+		r.countSend(ns.id, r.net.SendMultiHopTraced(ns.id, p.New, KindReport, ns.lastReport, trace))
 	}
 }

@@ -3,6 +3,7 @@ package sid
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/sid-wsn/sid/internal/cluster"
 	"github.com/sid-wsn/sid/internal/detect"
@@ -97,7 +98,16 @@ func (r *Runtime) dispatchReport(ns *nodeState, payload ReportPayload) {
 				Onset: payload.Onset, Energy: payload.Energy,
 			})
 		}
-		r.countSend(ns.id, r.net.SendMultiHop(ns.id, ns.headID, KindReport, payload))
+		trace := ""
+		if r.col.Tracing() {
+			tr := r.col.Tracer()
+			tr.Add(int(ns.headID), obs.Span{
+				Kind: obs.SpanNodeOnset, Start: payload.Onset, End: now, Node: int(ns.id),
+			})
+			tr.TxStart(int(ns.headID), int(ns.id), now)
+			trace = tr.KeyOf(int(ns.headID))
+		}
+		r.countSend(ns.id, r.net.SendMultiHopTraced(ns.id, ns.headID, KindReport, payload, trace))
 		return
 	}
 	// SetUpTempCluster: become head, invite neighbors within six hops.
@@ -112,6 +122,13 @@ func (r *Runtime) dispatchReport(ns *nodeState, payload ReportPayload) {
 	if r.col.Journaling() {
 		r.col.Emit(now, obs.KindClusterSetup, obs.ClusterSetup{
 			Head: int(ns.id), Deadline: ns.deadline,
+		})
+	}
+	if r.col.Tracing() {
+		tr := r.col.Tracer()
+		tr.StartCluster(int(ns.id), now, ns.deadline)
+		tr.Add(int(ns.id), obs.Span{
+			Kind: obs.SpanNodeOnset, Start: payload.Onset, End: now, Node: int(ns.id),
 		})
 	}
 	r.acceptReport(ns, payload)
@@ -179,6 +196,9 @@ func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
 		if node.ID == r.cfg.SinkID {
 			payload.Time = node.LocalTime(r.sched.Now())
 			r.sinkReports = append(r.sinkReports, payload)
+			if r.col.Tracing() && msg.Trace != "" {
+				r.col.Tracer().ConfirmByKey(msg.Trace, r.sched.Now())
+			}
 			if r.col.Journaling() {
 				r.col.Emit(r.sched.Now(), obs.KindSinkReport, obs.SinkReport{
 					Head: int(payload.Head), C: payload.C,
@@ -213,6 +233,11 @@ func (r *Runtime) acceptReport(head *nodeState, p ReportPayload) {
 		}
 	}
 	head.lastReportAt = r.sched.Now()
+	if r.col.Tracing() {
+		// Close the member's in-flight transmission span (no-op for the
+		// head's own report, which never opened one).
+		r.col.Tracer().TxEnd(int(head.id), int(p.Node), r.sched.Now())
+	}
 	if r.col.Journaling() {
 		first := true
 		for i := range head.reports {
@@ -288,6 +313,9 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 				Head: int(ns.id), Reports: len(reports), Reason: "head-dead",
 			})
 		}
+		if r.col.Tracing() {
+			r.col.Tracer().Cancel(int(ns.id))
+		}
 		r.evaluations = append(r.evaluations, Evaluation{
 			Head: ns.id, Reports: reports,
 			Err: fmt.Errorf("sid: head %d dead at collection deadline", ns.id),
@@ -309,6 +337,9 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 				Head: int(ns.id), Deadline: next,
 			})
 		}
+		if r.col.Tracing() {
+			r.col.Tracer().Extend(int(ns.id), next)
+		}
 		_ = r.sched.Schedule(next, func() { r.headDeadline(ns, next) })
 		if fo.HeartbeatPeriod > 0 {
 			r.startHeartbeats(ns, next)
@@ -327,8 +358,15 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 				Head: int(ns.id), Reports: len(reports), Reason: "min-reports",
 			})
 		}
+		if r.col.Tracing() {
+			r.col.Tracer().Cancel(int(ns.id))
+		}
 		r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports})
 		return
+	}
+	var evalWall time.Time
+	if r.col.Tracing() {
+		evalWall = time.Now() // wall overlay only; zeroed in deterministic serialization
 	}
 	stop := r.col.Profiler().Start("cluster")
 	evalReports := reports
@@ -366,8 +404,19 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		}
 		r.col.Emit(r.sched.Now(), obs.KindClusterEval, ev)
 	}
+	if r.col.Tracing() {
+		now := r.sched.Now()
+		r.col.Tracer().Add(int(ns.id), obs.Span{
+			Kind: obs.SpanClusterEval, Start: now, End: now, Node: int(ns.id),
+			Seq: len(reports), Value: res.C,
+			WallNs: time.Since(evalWall).Nanoseconds(),
+		})
+	}
 	if err != nil || !res.Detected {
 		r.ctr.cancelled.Inc()
+		if r.col.Tracing() {
+			r.col.Tracer().Cancel(int(ns.id))
+		}
 		return
 	}
 	// Nodes trimmed out of a confirming evaluation contradicted a real
@@ -387,6 +436,9 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 	dets := make([]speed.Detection, len(evalReports))
 	for i, rep := range evalReports {
 		dets[i] = speed.Detection{Pos: rep.Pos, Time: rep.Onset, Energy: rep.Energy}
+	}
+	if r.col.Tracing() {
+		evalWall = time.Now()
 	}
 	stop = r.col.Profiler().Start("speed")
 	var est speed.Estimate
@@ -417,6 +469,19 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		sink.Speed = est.Speed
 		sink.Heading = est.Alpha
 	}
+	if r.col.Tracing() {
+		now := r.sched.Now()
+		sp := obs.Span{
+			Kind: obs.SpanSpeedEstimate, Start: now, End: now, Node: int(ns.id),
+			WallNs: time.Since(evalWall).Nanoseconds(),
+		}
+		if estErr == nil {
+			sp.Value = est.Speed
+		} else {
+			sp.Note = "no-fit"
+		}
+		r.col.Tracer().Add(int(ns.id), sp)
+	}
 	tree := r.tree
 	if r.cfg.Failover.Enabled {
 		// Route repair: the BFS tree was built at deployment time; nodes
@@ -430,5 +495,12 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 			r.gaugeTreeDepth()
 		}
 	}
-	r.countSend(ns.id, r.net.SendToRoot(tree, ns.id, KindSinkReport, sink))
+	trace := ""
+	if r.col.Tracing() {
+		// Detach the build from the head: the same node may form a new
+		// cluster while this confirmation is still in flight, and the sink
+		// re-binds by the wire key stamped into the frame.
+		trace = r.col.Tracer().Detach(int(ns.id), r.sched.Now())
+	}
+	r.countSend(ns.id, r.net.SendToRootTraced(tree, ns.id, KindSinkReport, sink, trace))
 }

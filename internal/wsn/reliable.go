@@ -129,6 +129,7 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 					Received: got, Reason: "sender-dead",
 				})
 			}
+			w.traceHopDrop(msg, from, to, "sender-dead")
 			return
 		}
 		if k > 0 {
@@ -164,6 +165,13 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 			})
 		}
 		wait := w.arqTimeout(k)
+		if k > 0 && msg.Trace != "" && w.col.Tracing() {
+			now := w.Sched.Now()
+			w.col.Tracer().AddByKey(msg.Trace, obs.Span{
+				Kind: obs.SpanHopRetransmit, Start: now, End: now,
+				Node: int(from.ID), Peer: int(to.ID), Seq: k, Value: wait,
+			})
+		}
 		if k < rc.MaxRetrans {
 			_ = w.Sched.After(wait, func() { attempt(k + 1) })
 			return
@@ -184,10 +192,24 @@ func (w *Network) sendReliable(from, to *Node, msg Message, cont func(*Node, Mes
 						Received: got, Reason: "retrans-exhausted",
 					})
 				}
+				w.traceHopDrop(msg, from, to, "retrans-exhausted")
 			}
 		})
 	}
 	attempt(0)
+}
+
+// traceHopDrop attaches an abandoned-hop span to a traced frame's
+// detection trace (no-op for untraced frames or without a tracer).
+func (w *Network) traceHopDrop(msg Message, from, to *Node, reason string) {
+	if msg.Trace == "" || !w.col.Tracing() {
+		return
+	}
+	now := w.Sched.Now()
+	w.col.Tracer().AddByKey(msg.Trace, obs.Span{
+		Kind: obs.SpanHopDrop, Start: now, End: now,
+		Node: int(from.ID), Peer: int(to.ID), Note: reason,
+	})
 }
 
 // sendAck transmits one acknowledgment frame from -> to. ACKs are

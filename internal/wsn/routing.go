@@ -70,6 +70,13 @@ func (t *Tree) PathToRoot(id NodeID) ([]NodeID, error) {
 // retries at each hop. Delivery is asynchronous; the returned error covers
 // only immediate failures (disconnection).
 func (w *Network) SendToRoot(t *Tree, from NodeID, kind string, payload interface{}) error {
+	return w.SendToRootTraced(t, from, kind, payload, "")
+}
+
+// SendToRootTraced is SendToRoot with a detection-trace wire key stamped
+// into the frame so the reliable transport's retransmission/drop spans
+// attach to the detection's trace. An empty trace is exactly SendToRoot.
+func (w *Network) SendToRootTraced(t *Tree, from NodeID, kind string, payload interface{}, trace string) error {
 	path, err := t.PathToRoot(from)
 	if err != nil {
 		return err
@@ -77,11 +84,11 @@ func (w *Network) SendToRoot(t *Tree, from NodeID, kind string, payload interfac
 	if len(path) == 1 {
 		// Already at the root: deliver locally.
 		root := w.nodes[t.Root]
-		msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, From: from, To: t.Root, Payload: payload}
+		msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, From: from, To: t.Root, Trace: trace, Payload: payload}
 		w.deliver(root, msg)
 		return nil
 	}
-	msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, To: t.Root, Payload: payload}
+	msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, To: t.Root, Trace: trace, Payload: payload}
 	w.forwardAlongTree(t, w.nodes[from], msg)
 	return nil
 }
@@ -145,6 +152,12 @@ func (w *Network) transmitRelay(from, to *Node, msg Message, cont func(*Node, Me
 // Used by cluster members to reach a temporary cluster head several hops
 // away.
 func (w *Network) SendMultiHop(from, to NodeID, kind string, payload interface{}) error {
+	return w.SendMultiHopTraced(from, to, kind, payload, "")
+}
+
+// SendMultiHopTraced is SendMultiHop with a detection-trace wire key
+// stamped into the frame (see SendToRootTraced).
+func (w *Network) SendMultiHopTraced(from, to NodeID, kind string, payload interface{}, trace string) error {
 	src, err := w.Node(from)
 	if err != nil {
 		return err
@@ -154,7 +167,7 @@ func (w *Network) SendMultiHop(from, to NodeID, kind string, payload interface{}
 		return err
 	}
 	if from == to {
-		msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, From: from, To: to, Payload: payload}
+		msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, From: from, To: to, Trace: trace, Payload: payload}
 		w.deliver(dst, msg)
 		return nil
 	}
@@ -162,7 +175,7 @@ func (w *Network) SendMultiHop(from, to NodeID, kind string, payload interface{}
 	if path == nil {
 		return fmt.Errorf("wsn: no path %d -> %d", from, to)
 	}
-	msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, To: to, Payload: payload}
+	msg := Message{Seq: w.NextSeq(), Kind: kind, Src: from, To: to, Trace: trace, Payload: payload}
 	w.relayAlongPath(path, 0, src, msg)
 	return nil
 }
