@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial serve loadgen serve-smoke trace-smoke
+.PHONY: test bench race vet fmt baseline bench-check obs replay adversarial serve loadgen serve-smoke trace-smoke grid-smoke grid-baseline
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -53,6 +53,18 @@ baseline:
 # the per-stage breakdown the synthesis perf target is pinned to.
 bench-check:
 	$(GO) run ./cmd/sidbench -check
+
+# Large-field smoke: the index-vs-unindexed parity cross-check plus a
+# downscaled grid run with every scaling feature on (spatial wake index,
+# hierarchical collection, duty cycling, bounded history). Small grids never
+# touch the committed baseline; see docs/PERFORMANCE.md.
+grid-smoke:
+	$(GO) run ./cmd/sidbench -exp grid -grid 8x8 -gomaxprocs 2
+
+# Refreshes the canonical grid_100x100 baseline entry and its speedup curve
+# (tens of seconds per worker setting; see docs/PERFORMANCE.md).
+grid-baseline:
+	$(GO) run ./cmd/sidbench -exp grid -gomaxprocs 2
 
 # Runs the multi-tenant detection server (docs/SERVING.md).
 SERVE_ADDR ?= localhost:8080

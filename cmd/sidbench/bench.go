@@ -35,6 +35,11 @@ type benchResult struct {
 	// wire) percentiles in nanoseconds.
 	DetE2eP50Ns float64 `json:"det_e2e_p50_ns,omitempty"`
 	DetE2eP99Ns float64 `json:"det_e2e_p99_ns,omitempty"`
+	// IndexHitRate/PeakNodeBytes are recorded only by the grid scaling
+	// entry: the spatial wake index's node-block selection rate (low is
+	// good) and the peak per-node resident footprint in bytes.
+	IndexHitRate  float64 `json:"index_hit_rate,omitempty"`
+	PeakNodeBytes int64   `json:"peak_node_bytes,omitempty"`
 }
 
 // stageResult is one pipeline stage's aggregate from the instrumented
@@ -291,7 +296,7 @@ func runBench(path string) error {
 	// POST→confirmation latency; the sustained node-block throughput rides
 	// along in the note and the derived section.
 	fmt.Println("  serve load (1000 tenants, closed-loop over loopback)...")
-	serveRes, err := measureServe(1000, "")
+	serveRes, err := measureServe(1000, "", 0, 0)
 	if err != nil {
 		return err
 	}
@@ -395,6 +400,19 @@ func checkBench(path string) error {
 	}
 	if !hasServe {
 		return fmt.Errorf("%s: %s missing; regenerate with -bench or refresh it with -exp serve", path, serveBenchName)
+	}
+	hasGrid := false
+	for _, b := range bf.Benchmarks {
+		if b.Name == gridBenchName {
+			hasGrid = b.Ops > 0 && b.NsPerOp > 0
+			if hasGrid && (b.IndexHitRate <= 0 || b.PeakNodeBytes <= 0) {
+				return fmt.Errorf("%s: %s lacks index_hit_rate/peak_node_bytes; refresh it with -exp grid", path, gridBenchName)
+			}
+			break
+		}
+	}
+	if !hasGrid {
+		return fmt.Errorf("%s: %s missing; refresh it with -exp grid", path, gridBenchName)
 	}
 	fmt.Printf("%s: ok (gomaxprocs=%d, num_cpu=%d, %d benchmarks, %d stages)\n",
 		path, bf.GOMAXPROCS, bf.NumCPU, len(bf.Benchmarks), len(bf.Stages))

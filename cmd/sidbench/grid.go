@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"github.com/sid-wsn/sid/internal/geo"
+	"github.com/sid-wsn/sid/internal/sid"
+	"github.com/sid-wsn/sid/internal/source"
+	"github.com/sid-wsn/sid/internal/wake"
+)
+
+// gridBenchName is the baseline entry for the large-field scaling run: a
+// 100×100-node spectral deployment with the spatial wake index, hierarchical
+// report collection, and memory-bounded history all engaged.
+const gridBenchName = "grid_100x100"
+
+// parseGrid parses an "RxC" grid size like "100x100".
+func parseGrid(s string) (rows, cols int, err error) {
+	if n, err := fmt.Sscanf(s, "%dx%d", &rows, &cols); err != nil || n != 2 {
+		return 0, 0, fmt.Errorf("grid must be RxC (e.g. 100x100), got %q", s)
+	}
+	if rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("grid dimensions must be positive, got %dx%d", rows, cols)
+	}
+	return rows, cols, nil
+}
+
+// gridConfig is the large-field configuration: spectral synthesis (the index
+// only routes spectral wake evaluation), 20% sentinel duty cycling, a
+// 30 s collection window, two-level report collection, and a bounded
+// 60 s detection history.
+func gridConfig(rows, cols, workers int) sid.Config {
+	cfg := sid.DefaultConfig()
+	cfg.Grid = geo.GridSpec{Rows: rows, Cols: cols, Spacing: 25}
+	cfg.Seed = 11
+	cfg.Synthesis = source.SynthSpectral
+	cfg.DutyCycle = 0.2
+	cfg.CollectWindow = 30
+	cfg.HistoryWindow = 60
+	cfg.Workers = workers
+	cfg.Hierarchy = sid.DefaultHierarchyConfig()
+	cfg.Hierarchy.Enabled = true
+	return cfg
+}
+
+// gridShip returns a 10 kn intruder crossing the field's center, wake front
+// arriving around crossAt.
+func gridShip(cfg sid.Config, crossAt float64) (*wake.Ship, error) {
+	center := cfg.Grid.Center()
+	dir := geo.Vec2{X: 0, Y: 1}
+	track := geo.NewLine(center.Sub(dir.Scale(2000)), dir)
+	ship, err := wake.NewShip(track, geo.Knots(10), 12)
+	if err != nil {
+		return nil, err
+	}
+	ship.Time0 = crossAt - (ship.ArrivalTime(center) - ship.Time0)
+	return ship, nil
+}
+
+// gridRun builds and runs one large-field deployment, returning the runtime
+// and the wall-clock time of the simulated run (construction excluded — the
+// curve measures the pipeline, not one-time setup).
+func gridRun(rows, cols, workers int, dur float64) (*sid.Runtime, time.Duration, error) {
+	cfg := gridConfig(rows, cols, workers)
+	rt, err := sid.NewRuntime(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	ship, err := gridShip(cfg, 30)
+	if err != nil {
+		return nil, 0, err
+	}
+	rt.AddShip(ship)
+	start := time.Now()
+	if err := rt.Run(dur); err != nil {
+		return nil, 0, err
+	}
+	return rt, time.Since(start), nil
+}
+
+// gridCrossCheck is the correctness gate in front of the measurement: on a
+// downscaled field it runs the indexed source against a DisableIndex
+// reference and demands bit-identical detections, then re-runs the indexed
+// field at Workers=2 and demands bit-identity with Workers=1. Only after
+// both hold is the big-field wall-clock worth recording.
+func gridCrossCheck() error {
+	const rows, cols = 12, 12
+	run := func(disableIndex bool, workers int) (*sid.Runtime, error) {
+		cfg := gridConfig(rows, cols, workers)
+		cfg.HistoryWindow = 0 // compare complete histories, not surviving tails
+		src, err := source.NewSynthetic(source.SyntheticConfig{
+			Positions:    cfg.Grid.Positions(),
+			Hs:           cfg.Hs,
+			Tp:           cfg.Tp,
+			DriftRadius:  cfg.DriftRadius,
+			Seed:         cfg.Seed,
+			Synthesis:    cfg.Synthesis,
+			DisableIndex: disableIndex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Source = src
+		rt, err := sid.NewRuntime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ship, err := gridShip(cfg, 30)
+		if err != nil {
+			return nil, err
+		}
+		rt.AddShip(ship)
+		if err := rt.Run(90); err != nil {
+			return nil, err
+		}
+		return rt, nil
+	}
+	indexed, err := run(false, 1)
+	if err != nil {
+		return err
+	}
+	plain, err := run(true, 1)
+	if err != nil {
+		return err
+	}
+	if len(indexed.NodeReports()) == 0 {
+		return fmt.Errorf("cross-check crossing produced no node reports; parity would be vacuous")
+	}
+	if !reflect.DeepEqual(indexed.NodeReports(), plain.NodeReports()) {
+		return fmt.Errorf("indexed node reports diverge from the unindexed reference")
+	}
+	if !reflect.DeepEqual(indexed.SinkReports(), plain.SinkReports()) {
+		return fmt.Errorf("indexed sink reports diverge from the unindexed reference")
+	}
+	par, err := run(false, 2)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(indexed.NodeReports(), par.NodeReports()) ||
+		!reflect.DeepEqual(indexed.SinkReports(), par.SinkReports()) {
+		return fmt.Errorf("indexed run not bit-identical across worker counts")
+	}
+	fmt.Printf("  cross-check %dx%d: indexed == unindexed (%d node reports), workers 1 == 2\n",
+		rows, cols, len(indexed.NodeReports()))
+	return nil
+}
+
+// runGridExp is the -exp grid entry point: verify index parity on a
+// downscaled field, then run the large field (default 100×100, override via
+// -grid) across Workers 1/2/4 and record wall clock, index hit rate, and
+// peak per-node memory. The baseline entry is refreshed only at the
+// canonical 100×100 size; smaller -grid runs are smokes.
+func runGridExp(rows, cols int, benchOut string) error {
+	if rows == 0 {
+		rows, cols = 100, 100
+	}
+	if err := gridCrossCheck(); err != nil {
+		return err
+	}
+	const dur = 60.0
+	workersCurve := []int{1, 2, 4}
+	walls := make([]time.Duration, len(workersCurve))
+	var hitRate float64
+	var peakBytes int
+	var detections int
+	for i, w := range workersCurve {
+		rt, wall, err := gridRun(rows, cols, w, dur)
+		if err != nil {
+			return err
+		}
+		walls[i] = wall
+		fmt.Printf("  %dx%d workers=%d: %.1f s wall for %.0f s simulated\n",
+			rows, cols, w, wall.Seconds(), dur)
+		if i == 0 {
+			syn, ok := rt.Source().(*source.Synthetic)
+			if !ok {
+				return fmt.Errorf("grid run source is %T, not the synthetic field", rt.Source())
+			}
+			st := syn.SynthesisStats()
+			if st.IndexNodesOffered == 0 {
+				return fmt.Errorf("spatial index never engaged (0 node-blocks offered)")
+			}
+			hitRate = st.IndexHitRate()
+			peakBytes = rt.PeakNodeBytes()
+			detections = len(rt.NodeReports())
+			if detections == 0 {
+				return fmt.Errorf("crossing produced no node detections on the %dx%d field", rows, cols)
+			}
+			if peakBytes <= 0 {
+				return fmt.Errorf("peak node bytes not tracked")
+			}
+		}
+	}
+	fmt.Printf("  index hit rate %.4f, peak node bytes %d, node detections %d\n",
+		hitRate, peakBytes, detections)
+	entry := benchResult{
+		Name:          gridBenchName,
+		NsPerOp:       float64(walls[0].Nanoseconds()),
+		Ops:           1,
+		IndexHitRate:  hitRate,
+		PeakNodeBytes: int64(peakBytes),
+		Note: fmt.Sprintf("%dx%d nodes, %.0f s simulated, spectral+index+hierarchy+bounded history; workers 1/2/4: %.1fs/%.1fs/%.1fs",
+			rows, cols, dur, walls[0].Seconds(), walls[1].Seconds(), walls[2].Seconds()),
+	}
+	if rows != 100 || cols != 100 {
+		fmt.Printf("(baseline not updated: the %s entry is recorded at 100x100)\n", gridBenchName)
+		return nil
+	}
+	if err := mergeGridBaseline(benchOut, entry, walls, workersCurve); err != nil {
+		return err
+	}
+	fmt.Printf("refreshed %s in %s\n", gridBenchName, benchOut)
+	return nil
+}
+
+// mergeGridBaseline upserts the grid entry and its speedup curve into an
+// existing baseline file, leaving every other measurement untouched.
+func mergeGridBaseline(path string, entry benchResult, walls []time.Duration, workers []int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline must exist before merging (run -bench first): %w", err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	replaced := false
+	for i := range bf.Benchmarks {
+		if bf.Benchmarks[i].Name == gridBenchName {
+			bf.Benchmarks[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		bf.Benchmarks = append(bf.Benchmarks, entry)
+	}
+	if bf.Derived == nil {
+		bf.Derived = map[string]string{}
+	}
+	for i := 1; i < len(workers); i++ {
+		key := fmt.Sprintf("grid_parallel_speedup_w%d", workers[i])
+		bf.Derived[key] = fmt.Sprintf("%.2fx", walls[0].Seconds()/walls[i].Seconds())
+	}
+	bf.Derived["grid_index_hit_rate"] = fmt.Sprintf("%.4f", entry.IndexHitRate)
+	out, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet,serve,trace or all")
+	expFlag := flag.String("exp", "all", "experiment to run: fig5,fig6,fig7,fig8,fig11,table1,table2,fig12,resilience,adversarial,scenarios,fleet,serve,trace,grid or all")
 	trials := flag.Int("trials", 0, "override trial counts (0 = experiment defaults)")
 	seed := flag.Int64("seed", 1, "base seed")
 	bench := flag.Bool("bench", false, "run the performance baseline suite instead of the experiments")
@@ -31,7 +31,18 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /debug/pprof and /debug/vars on this address while running (e.g. localhost:6060)")
 	tenants := flag.Int("tenants", 1000, "with -exp serve: concurrent tenant count for the load generator")
 	serveAddr := flag.String("addr", "", "with -exp serve: drive a running sidserve at this address instead of an in-process server (e.g. localhost:8080)")
+	gridFlag := flag.String("grid", "", "RxC grid size (e.g. 100x100): the -exp grid field size (default 100x100; smaller sizes run as smokes without touching the baseline) and the -exp serve hot-feed grid override (default 5x5)")
 	flag.Parse()
+
+	gridRows, gridCols := 0, 0
+	if *gridFlag != "" {
+		var err error
+		gridRows, gridCols, err = parseGrid(*gridFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *httpAddr != "" {
 		srv, err := obs.Serve(*httpAddr, nil)
@@ -272,8 +283,21 @@ func main() {
 	// minute of saturated ingest) and touches the baseline file.
 	if want["serve"] {
 		fmt.Println("== serve ==")
-		if err := runServeExp(*tenants, *serveAddr, *benchOut); err != nil {
+		if err := runServeExp(*tenants, *serveAddr, *benchOut, gridRows, gridCols); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	// The grid scaling run is opt-in like serve: it simulates the large
+	// field (default 100x100 nodes) across a Workers curve after an
+	// index-parity cross-check, and refreshes the baseline's grid entry
+	// when run at the canonical size.
+	if want["grid"] {
+		fmt.Println("== grid ==")
+		if err := runGridExp(gridRows, gridCols, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()

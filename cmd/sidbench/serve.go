@@ -58,10 +58,14 @@ func (r *serveLoadResult) BlocksPerSec() float64 {
 
 // buildServeFeeds records the load mix once: three cheap 3×3 quiet-ish
 // crossings that make up the bulk of the fleet, plus one detection-bearing
-// 5×5 crossing assigned to every 50th tenant so the run exercises the full
-// confirmation pipeline (cluster formation, correlation test, detection
-// events on the wire) and not just ingest.
-func buildServeFeeds() (cheap []serveFeed, hot serveFeed, err error) {
+// hot crossing (5×5 unless the -grid flag overrides it) assigned to every
+// 50th tenant so the run exercises the full confirmation pipeline (cluster
+// formation, correlation test, detection events on the wire) and not just
+// ingest.
+func buildServeFeeds(hotRows, hotCols int) (cheap []serveFeed, hot serveFeed, err error) {
+	if hotRows == 0 {
+		hotRows, hotCols = 5, 5
+	}
 	const batch = 0.5
 	mk := func(rows, cols int, seed int64, dur, chunkS, crossAt float64) (serveFeed, error) {
 		spec := sidapi.DefaultDeployment()
@@ -90,7 +94,7 @@ func buildServeFeeds() (cheap []serveFeed, hot serveFeed, err error) {
 		}
 		cheap = append(cheap, f)
 	}
-	hot, err = mk(5, 5, 301, 120, 10, 60)
+	hot, err = mk(hotRows, hotCols, 301, 120, 10, 60)
 	if err != nil {
 		return nil, serveFeed{}, fmt.Errorf("hot feed: %w", err)
 	}
@@ -279,11 +283,11 @@ func driveTenant(client *http.Client, base, id string, f serveFeed, dets *int64)
 // throughput and POST→confirmation latency. With addr == "" it starts an
 // in-process server on an ephemeral port; otherwise it targets a running
 // sidserve at addr (the CI smoke path).
-func measureServe(tenants int, addr string) (*serveLoadResult, error) {
+func measureServe(tenants int, addr string, hotRows, hotCols int) (*serveLoadResult, error) {
 	if tenants <= 0 {
 		return nil, fmt.Errorf("serve: tenant count must be positive, got %d", tenants)
 	}
-	cheap, hot, err := buildServeFeeds()
+	cheap, hot, err := buildServeFeeds(hotRows, hotCols)
 	if err != nil {
 		return nil, err
 	}
@@ -399,14 +403,14 @@ func (r *serveLoadResult) benchEntry() benchResult {
 // runServeExp is the -exp serve entry point: run the load generator and,
 // when the run is at the canonical 1k-tenant scale against the in-process
 // server, refresh the serve_1k_tenants entry in the baseline file.
-func runServeExp(tenants int, addr, benchPath string) error {
-	res, err := measureServe(tenants, addr)
+func runServeExp(tenants int, addr, benchPath string, hotRows, hotCols int) error {
+	res, err := measureServe(tenants, addr, hotRows, hotCols)
 	if err != nil {
 		return err
 	}
 	res.print()
-	if tenants != 1000 || addr != "" {
-		fmt.Printf("(baseline not updated: the %s entry is recorded at 1000 tenants in-process)\n", serveBenchName)
+	if tenants != 1000 || addr != "" || hotRows != 0 {
+		fmt.Printf("(baseline not updated: the %s entry is recorded at 1000 tenants in-process on the default feed mix)\n", serveBenchName)
 		return nil
 	}
 	if err := mergeServeBaseline(benchPath, res); err != nil {

@@ -300,6 +300,19 @@ func New(cfg Config) (*Detector, error) {
 // Config returns the detector's configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// MemBytes returns the detector's resident state in bytes: the FIR taps and
+// delay line, the batch-statistics buffers (bounded by StatWindow), and the
+// sliding anomaly-window ring (AnomalyWindow records). Every buffer is a
+// fixed-size ring or a capacity-bounded accumulator sized from the
+// configuration, so once warm this is a constant — the per-node memory
+// budget a large field multiplies by its node count.
+func (d *Detector) MemBytes() int {
+	const recBytes = 24 // sampleRec: two float64s plus a padded bool
+	return d.stream.MemBytes() +
+		(cap(d.batch)+cap(d.batchAll))*8 +
+		cap(d.ring)*recBytes
+}
+
 // Threshold returns the current D_max (eq. 7's M·m′_T or the z-score
 // variant), or NaN before initialization.
 func (d *Detector) Threshold() float64 {

@@ -118,6 +118,13 @@ func (s *Stream) Push(x float64) float64 {
 }
 
 // Reset clears the stream state.
+// MemBytes returns the stream's resident state in bytes: tap and delay-line
+// slices plus the cursor. Each detector builds its own filter, so the taps
+// count against the owning node's budget.
+func (s *Stream) MemBytes() int {
+	return (cap(s.taps)+cap(s.buf))*8 + 8
+}
+
 func (s *Stream) Reset() {
 	for i := range s.buf {
 		s.buf[i] = 0

@@ -47,15 +47,29 @@ func (g GridSpec) RowCol(idx int) (row, col int) {
 	return idx / g.Cols, idx % g.Cols
 }
 
-// Positions returns the positions of all nodes in index order.
+// Positions returns the positions of all nodes in index order. It allocates
+// a fresh slice on every call; hot setup paths that rebuild deployments per
+// trial should reuse a buffer through PositionsInto instead.
 func (g GridSpec) Positions() []Vec2 {
-	out := make([]Vec2, 0, g.NumNodes())
+	return g.PositionsInto(nil)
+}
+
+// PositionsInto writes all node positions in index order into dst, growing
+// it only if its capacity is insufficient, and returns the filled slice.
+// A nil dst allocates; passing the previous return value back in makes
+// repeated calls allocation-free.
+func (g GridSpec) PositionsInto(dst []Vec2) []Vec2 {
+	n := g.NumNodes()
+	if cap(dst) < n {
+		dst = make([]Vec2, 0, n)
+	}
+	dst = dst[:0]
 	for r := 0; r < g.Rows; r++ {
 		for c := 0; c < g.Cols; c++ {
-			out = append(out, g.Pos(r, c))
+			dst = append(dst, g.Pos(r, c))
 		}
 	}
-	return out
+	return dst
 }
 
 // Center returns the centroid of the deployment.

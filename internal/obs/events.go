@@ -68,6 +68,9 @@ const (
 	// rejection or a trimmed-by-consensus verdict — possibly crossing into
 	// quarantine (payload: Suspicion).
 	KindSuspicion = "defense.suspect"
+	// KindSummaryFlush is a sub-cluster head forwarding its buffered member
+	// reports to a collection head as one summary (payload: SummaryFlush).
+	KindSummaryFlush = "hier.summary"
 	// KindMetrics is a registry snapshot embedded in the journal, usually
 	// once at end of run (payload: Snapshot).
 	KindMetrics = "metrics"
@@ -244,4 +247,12 @@ type Suspicion struct {
 	Score       int    `json:"score"`
 	Reason      string `json:"reason"`
 	Quarantined bool   `json:"quarantined"`
+}
+
+// SummaryFlush is the payload of KindSummaryFlush: a sub-cluster head
+// draining its buffer of member reports toward one collection head.
+type SummaryFlush struct {
+	Sub     int `json:"sub"`
+	Head    int `json:"head"`
+	Reports int `json:"reports"`
 }

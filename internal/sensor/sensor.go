@@ -88,6 +88,20 @@ type BoundedModel interface {
 	Bounds(p geo.Vec2, t0, t1 float64) (accel, slope float64)
 }
 
+// RegionBoundedModel is a BoundedModel that can additionally bound its
+// contribution over a whole axis-aligned region: BoundsBox must dominate
+// Bounds(p, t0, t1) componentwise for every p inside [min, max]. The source
+// layer's spatial index evaluates it once per index cell (inflated by the
+// buoy drift radius) to decide whether any node bucketed there needs the
+// model in its composite at all — the region analogue of the per-block
+// cull. Wake fields implement it; see wake.Field.BoundsBox.
+type RegionBoundedModel interface {
+	BoundedModel
+	// BoundsBox returns upper bounds on |VerticalAccel| (m/s²) and |Slope|
+	// (dimensionless) over [t0, t1] for every point in [min, max].
+	BoundsBox(min, max geo.Vec2, t0, t1 float64) (accel, slope float64)
+}
+
 // Composite sums several surface models (e.g. the ambient sea plus one or
 // more ship wakes).
 type Composite []SurfaceModel
@@ -291,14 +305,17 @@ func (s *Sensor) SetCullThresholds(c CullThresholds) { s.cull = c }
 // out of how many were checked since the sensor was created.
 func (s *Sensor) CullStats() (skipped, checked int64) { return s.cullSkipped, s.cullChecked }
 
-// cullSlackTime pads the culling window on both sides and cullSlackFactor
+// CullSlackTime pads the culling window on both sides and CullSlackFactor
 // inflates the model's bounds, covering intra-block buoy drift (≤ ~0.1 m
 // over a 0.5 s block; amplitude and arrival-time sensitivity to position are
 // both well under these margins at the ≥ 2 m distances the decay law clamps
-// to).
+// to). They are exported because the source layer's spatial index must apply
+// exactly the same padding and inflation when pre-filtering nodes per batch:
+// a node the index drops must be one the sensor's own cull would also have
+// dropped, or indexing would change samples.
 const (
-	cullSlackTime   = 0.25
-	cullSlackFactor = 1.15
+	CullSlackTime   = 0.25
+	CullSlackFactor = 1.15
 )
 
 // NewSensor validates the configuration and returns a sensor whose noise
@@ -431,8 +448,8 @@ func (s *Sensor) SampleBlock(model SurfaceModel, t0 float64, n int, buf *BlockBu
 		if bm, ok := m.(BoundedModel); ok && s.cull.Accel > 0 && s.cull.Slope > 0 {
 			s.cullChecked++
 			t1 := t0 + float64(n-1)*dt
-			ba, bs := bm.Bounds(p0, t0-cullSlackTime, t1+cullSlackTime)
-			if ba*cullSlackFactor <= s.cull.Accel && bs*cullSlackFactor <= s.cull.Slope {
+			ba, bs := bm.Bounds(p0, t0-CullSlackTime, t1+CullSlackTime)
+			if ba*CullSlackFactor <= s.cull.Accel && bs*CullSlackFactor <= s.cull.Slope {
 				s.cullSkipped++
 				continue
 			}

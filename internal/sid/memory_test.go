@@ -1,0 +1,97 @@
+package sid
+
+import (
+	"testing"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// TestHistoryWindowBoundsState: with HistoryWindow set, the runtime's
+// report/evaluation history holds only the recent past, while the unbounded
+// run keeps everything — and the bounded run's recent tail matches the
+// unbounded run's, so eviction is forgetting, not corruption.
+func TestHistoryWindowBoundsState(t *testing.T) {
+	run := func(window float64) *Runtime {
+		cfg := DefaultConfig()
+		cfg.Grid = geo.GridSpec{Rows: 6, Cols: 6, Spacing: 25}
+		cfg.Seed = 106
+		cfg.HistoryWindow = window
+		rt, err := NewRuntime(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.AddShip(crossGridShip(t, cfg, 10, 150))
+		if err := rt.Run(450); err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	full := run(0)
+	bounded := run(60)
+	if len(full.NodeReports()) == 0 {
+		t.Fatal("unbounded run produced no node reports")
+	}
+	if len(bounded.NodeReports()) >= len(full.NodeReports()) {
+		t.Fatalf("eviction kept everything: bounded %d vs full %d",
+			len(bounded.NodeReports()), len(full.NodeReports()))
+	}
+	cutoff := bounded.Scheduler().Now() - 60
+	for _, nr := range bounded.NodeReports() {
+		if nr.Time < cutoff {
+			t.Fatalf("report at %g survived cutoff %g", nr.Time, cutoff)
+		}
+	}
+	// The surviving tail is exactly the unbounded history's tail.
+	tail := full.NodeReports()[len(full.NodeReports())-len(bounded.NodeReports()):]
+	for i, nr := range bounded.NodeReports() {
+		if nr != tail[i] {
+			t.Fatalf("bounded tail diverges at %d: %+v vs %+v", i, nr, tail[i])
+		}
+	}
+	for _, ev := range bounded.Evaluations() {
+		if ev.Time < cutoff {
+			t.Fatalf("evaluation at %g survived cutoff %g", ev.Time, cutoff)
+		}
+	}
+	// Sink reports are the run's output and must never be evicted.
+	if len(bounded.SinkReports()) != len(full.SinkReports()) {
+		t.Fatalf("sink reports evicted: bounded %d vs full %d",
+			len(bounded.SinkReports()), len(full.SinkReports()))
+	}
+	// Eviction must not perturb the run itself.
+	if bounded.ClustersFormed() != full.ClustersFormed() {
+		t.Fatalf("cluster counts diverge: %d vs %d", bounded.ClustersFormed(), full.ClustersFormed())
+	}
+}
+
+// TestPeakNodeBytesGauge: the peak per-node footprint is published, sane
+// (dominated by the detector's fixed rings plus the sample block), and
+// monotone over a run.
+func TestPeakNodeBytesGauge(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 102
+	rt, err := NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.PeakNodeBytes() != 0 {
+		t.Fatalf("peak nonzero before any batch: %d", rt.PeakNodeBytes())
+	}
+	rt.AddShip(crossGridShip(t, cfg, 10, 150))
+	if err := rt.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	peak := rt.PeakNodeBytes()
+	floor := rt.nodes[0].det.MemBytes()
+	if peak < floor {
+		t.Fatalf("peak %d below the detector's fixed state %d", peak, floor)
+	}
+	// A node's state is rings plus one sample block plus a cluster's worth
+	// of reports — tens of kilobytes, never megabytes.
+	if peak > 1<<20 {
+		t.Fatalf("implausible per-node peak %d bytes", peak)
+	}
+	if g := rt.Observability().Registry().Gauge("sid.peak_node_bytes").Value(); int(g) != peak {
+		t.Fatalf("gauge %g disagrees with accessor %d", g, peak)
+	}
+}

@@ -3,6 +3,7 @@ package sid
 import (
 	"github.com/sid-wsn/sid/internal/obs"
 	"github.com/sid-wsn/sid/internal/parallel"
+	"github.com/sid-wsn/sid/internal/source"
 	"github.com/sid-wsn/sid/internal/wsn"
 )
 
@@ -46,6 +47,7 @@ func (r *Runtime) Run(dur float64) error {
 	if perBatch < 1 {
 		perBatch = 1
 	}
+	prep, _ := r.src.(source.BatchPreparer)
 	active := make([]*nodeState, 0, len(r.nodes))
 	var batchAt func(t float64, sampleIdx int)
 	batchAt = func(t float64, sampleIdx int) {
@@ -57,6 +59,11 @@ func (r *Runtime) Run(dur float64) error {
 			}
 		}
 		stop := r.col.Profiler().Start("synthesis")
+		if prep != nil {
+			// Serial staging hook: the synthetic source queries its spatial
+			// wake index here, once per batch, before the parallel fan-out.
+			prep.PrepareBatch(sampleIdx, t, perBatch)
+		}
 		parallel.ForEach(len(active), r.cfg.Workers, func(i int) {
 			ns := active[i]
 			ns.block = r.src.Block(int(ns.id), sampleIdx, t, perBatch)
@@ -70,11 +77,16 @@ func (r *Runtime) Run(dur float64) error {
 				r.rec.Append(int(ns.id), sampleIdx, ns.block)
 			}
 		}
+		// Memory accounting happens while the blocks are still resident —
+		// consumeBlock drops them — so the gauge reflects a node's true
+		// high-water mark, sample block included.
+		r.trackNodeMem()
 		stop = r.col.Profiler().Start("detect")
 		for _, ns := range active {
 			r.consumeBlock(ns)
 		}
 		stop()
+		r.boundHistory()
 		next := t + float64(perBatch)/sampleRate
 		if next < end {
 			_ = r.sched.Schedule(next, func() { batchAt(next, sampleIdx+perBatch) })

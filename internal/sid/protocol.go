@@ -107,6 +107,15 @@ func (r *Runtime) dispatchReport(ns *nodeState, payload ReportPayload) {
 			tr.TxStart(int(ns.headID), int(ns.id), now)
 			trace = tr.KeyOf(int(ns.headID))
 		}
+		if r.hierRoute(ns) {
+			// Two-level collection: hand the report to the sub-cluster head
+			// for batched forwarding. Journal and trace exactly as a direct
+			// send — the report's protocol meaning is unchanged, only its
+			// radio path differs.
+			r.countSend(ns.id, r.net.SendMultiHopTraced(ns.id, ns.subHead, KindSubReport,
+				SubReportPayload{Head: ns.headID, Report: payload}, trace))
+			return
+		}
 		r.countSend(ns.id, r.net.SendMultiHopTraced(ns.id, ns.headID, KindReport, payload, trace))
 		return
 	}
@@ -187,6 +196,24 @@ func (r *Runtime) onMessage(node *wsn.Node, msg wsn.Message) {
 		}
 		if ns.isHead {
 			r.acceptReport(ns, payload)
+		}
+	case KindSubReport:
+		payload, ok := msg.Payload.(SubReportPayload)
+		if !ok {
+			return
+		}
+		if r.cfg.Hierarchy.Enabled {
+			r.onSubReport(ns, payload)
+		}
+	case KindSummary:
+		payload, ok := msg.Payload.(SummaryPayload)
+		if !ok {
+			return
+		}
+		if ns.isHead && ns.id == payload.Head {
+			for _, rep := range payload.Reports {
+				r.acceptReport(ns, rep)
+			}
 		}
 	case KindSinkReport:
 		payload, ok := msg.Payload.(SinkReport)
@@ -317,7 +344,7 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 			r.col.Tracer().Cancel(int(ns.id))
 		}
 		r.evaluations = append(r.evaluations, Evaluation{
-			Head: ns.id, Reports: reports,
+			Head: ns.id, Time: r.sched.Now(), Reports: reports,
 			Err: fmt.Errorf("sid: head %d dead at collection deadline", ns.id),
 		})
 		return
@@ -361,7 +388,7 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 		if r.col.Tracing() {
 			r.col.Tracer().Cancel(int(ns.id))
 		}
-		r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Reports: reports})
+		r.evaluations = append(r.evaluations, Evaluation{Head: ns.id, Time: r.sched.Now(), Reports: reports})
 		return
 	}
 	var evalWall time.Time
@@ -386,7 +413,8 @@ func (r *Runtime) headDeadline(ns *nodeState, deadline float64) {
 	}
 	stop()
 	r.evaluations = append(r.evaluations, Evaluation{
-		Head: ns.id, Reports: reports, Result: res, Err: err, Trimmed: trimmed,
+		Head: ns.id, Time: r.sched.Now(), Reports: reports,
+		Result: res, Err: err, Trimmed: trimmed,
 	})
 	if err == nil {
 		r.cHist.Observe(res.C)

@@ -55,6 +55,12 @@ type Config struct {
 	// re-election, one-time deadline extension). The zero value disables
 	// it, keeping runs bit-identical to the pre-failover protocol.
 	Failover FailoverConfig
+	// Hierarchy configures two-level report collection: members hand their
+	// reports to deterministically chosen sub-cluster heads, which forward
+	// batched summaries to the temporary cluster head (hierarchy.go). The
+	// zero value disables it, keeping runs bit-identical to the flat
+	// protocol; large fields want it on so collection traffic scales.
+	Hierarchy HierarchyConfig
 	// Faults is a deterministic fault plan (node crashes/revivals, battery
 	// depletion, clock steps, burst loss) applied at construction. The
 	// zero value injects nothing.
@@ -101,6 +107,16 @@ type Config struct {
 	// be activated and increase the sampling rate"). 0 or 1 disables
 	// duty cycling (all nodes always on).
 	DutyCycle float64
+	// HistoryWindow bounds the runtime's in-memory detection history: node
+	// reports and cluster evaluations older than this many seconds of
+	// simulation time are evicted in the batch loop's serial phase. 0 (the
+	// default) keeps everything — the historical behavior, right for test
+	// runs that inspect the full history afterwards. Long-running large
+	// fields want it set to a few collection windows, which makes the
+	// runtime's resident state a function of activity rate instead of run
+	// length. Sink reports — the deployment's actual output, one per
+	// confirmed intrusion — are never evicted.
+	HistoryWindow float64
 	// Workers bounds the goroutines used to produce per-node sample
 	// blocks inside each sensing batch: 0 uses all cores (GOMAXPROCS),
 	// 1 forces serial production. Every node's samples depend only on its
@@ -200,7 +216,13 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("sid: Workers must be non-negative, got %d", c.Workers)
 	}
+	if c.HistoryWindow < 0 {
+		return fmt.Errorf("sid: HistoryWindow must be non-negative, got %g", c.HistoryWindow)
+	}
 	if err := c.Failover.validate(); err != nil {
+		return err
+	}
+	if err := c.Hierarchy.validate(); err != nil {
 		return err
 	}
 	if err := c.Faults.Validate(c.Grid.NumNodes()); err != nil {
@@ -250,6 +272,12 @@ type nodeState struct {
 	// the destination at send time).
 	sendErrs int
 
+	// hierarchy state: subHead is the node's assigned sub-cluster head (-1
+	// when the aggregation tier is off); agg is a sub-head's per-destination
+	// buffer of member reports awaiting a summary flush (hierarchy.go).
+	subHead wsn.NodeID
+	agg     []aggBatch
+
 	// block is the node's sample block for the current batch, produced by
 	// the source in the parallel fan-out and consumed serially. Touched by
 	// exactly one goroutine per batch.
@@ -269,6 +297,10 @@ type Runtime struct {
 	sinkReports []SinkReport
 	nodeReports []NodeReport
 	evaluations []Evaluation
+
+	// peakNodeBytes is the largest per-node resident footprint seen so far
+	// (memory.go; registry gauge "sid.peak_node_bytes").
+	peakNodeBytes int
 
 	// sampleIdx is the global index of the next unconsumed sample,
 	// persisted across Run segments so index-addressed sources (trace
@@ -440,7 +472,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns := &nodeState{id: id, row: row, pos: pos, det: det, headID: -1, sentinel: true}
+		ns := &nodeState{id: id, row: row, pos: pos, det: det, headID: -1, subHead: -1, sentinel: true}
 		if cfg.DutyCycle > 0 && cfg.DutyCycle < 1 {
 			// Deterministic hash spreads the sentinel set over the grid.
 			h := (uint64(i)*2654435761 + uint64(cfg.Seed)) % 1000
@@ -468,6 +500,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	r.gaugeTreeDepth()
 	if !cfg.Faults.Empty() {
 		if err := fault.Apply(cfg.Faults, net); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Hierarchy.Enabled {
+		if err := r.setupHierarchy(); err != nil {
 			return nil, err
 		}
 	}
@@ -536,6 +573,9 @@ func (r *Runtime) NodeReports() []NodeReport { return r.nodeReports }
 type Evaluation struct {
 	// Head is the temporary cluster head.
 	Head wsn.NodeID
+	// Time is the simulation time of the deadline processing (what
+	// HistoryWindow eviction ages against).
+	Time float64
 	// Reports are the collected member reports (own report included).
 	Reports []cluster.Report
 	// Result is the correlation outcome; zero when the cluster was

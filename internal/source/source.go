@@ -64,6 +64,17 @@ type Appender interface {
 	AddSource(m sensor.SurfaceModel)
 }
 
+// BatchPreparer is the optional extension a Source implements when it wants
+// a serial hook before each batch's parallel per-node Block fan-out. The
+// pipeline calls PrepareBatch exactly once per batch — from the serial
+// scheduler event, never concurrently with Block — with the same (idx, t0,
+// n) every node's Block call of that batch will receive. Synthetic uses it
+// to query its spatial index once per active wake and stage per-node active
+// model lists, so the parallel phase stays free of shared mutable state.
+type BatchPreparer interface {
+	PrepareBatch(idx int, t0 float64, n int)
+}
+
 // SynthesisMode selects how Synthetic turns the wave field into sample
 // blocks. The zero value is the phasor path, so existing configurations and
 // recorded traces are unaffected by the existence of the spectral mode.
@@ -123,6 +134,13 @@ type SyntheticConfig struct {
 	// 0 selects the ocean package default of 1024 samples). Ignored in
 	// phasor mode.
 	SpectralWindow int
+	// DisableIndex turns off the spatial wake index that spectral mode
+	// builds over Positions, forcing every node to carry every wake model
+	// and pay the per-block bound check (the pre-index behavior). The
+	// indexed and unindexed paths are bit-identical — the flag exists for
+	// cross-checks and A/B benchmarks, not correctness. Ignored in phasor
+	// mode, which never indexes.
+	DisableIndex bool
 }
 
 // cullFraction sets the culling floors as a fraction of one ADC count: a
@@ -132,6 +150,13 @@ type SyntheticConfig struct {
 // contract with margin.
 const cullFraction = 0.25
 
+// indexDriftMargin is the extra inflation (meters) added to the drift
+// radius when the spatial index pads a cell rectangle for a region bound.
+// It covers the ~0.5 m intra-block observer slack the point Bounds contract
+// already tolerates, with headroom — the region bound must dominate the
+// point bound at the *drifted* position the sensor's own cull evaluates at.
+const indexDriftMargin = 1.0
+
 // synthNode is one node's synthesis state: its sensor (buoy + noise
 // stream), the reusable block scratch, and — in spectral mode — the node's
 // own composite model headed by its spectral stream. Each is touched by
@@ -140,6 +165,11 @@ type synthNode struct {
 	sens  *sensor.Sensor
 	bufs  sensor.BlockBuffers
 	model sensor.Composite // spectral mode only; phasor mode shares Synthetic.model
+	// batch is the per-batch active composite when the spatial index is on:
+	// model plus only the indexed wakes whose region bound reaches this
+	// node's cell. Rebuilt by PrepareBatch (serial) and read by Block
+	// (parallel, this node's goroutine only); capacity is reused.
+	batch sensor.Composite
 }
 
 // Synthetic synthesizes every node's samples from a composite surface
@@ -158,6 +188,24 @@ type Synthetic struct {
 	nodes   []synthNode
 	plan    *ocean.SpectralPlan // spectral mode only
 	perNode bool
+
+	// Spatial index state (spectral mode, unless disabled). boxed holds the
+	// region-boundable wakes routed through the index instead of being
+	// appended to every node's composite; PrepareBatch queries the index
+	// once per boxed wake per batch and stages each node's active list.
+	index    *geo.Index
+	cull     sensor.CullThresholds
+	driftPad float64
+	boxed    []sensor.RegionBoundedModel
+	queryBuf []int
+	// preparedFor is the batch idx the nodes' batch composites are staged
+	// for, -1 when unstaged. Written only from the serial PrepareBatch /
+	// AddSource; Block only reads it.
+	preparedFor int64
+	// Index effectiveness counters: node-blocks selected (paid at least the
+	// block-level bound check) vs node-blocks the index could have offered.
+	idxSelected int64
+	idxOffered  int64
 }
 
 // NewSynthetic builds the ocean field and one sensor per node.
@@ -184,11 +232,12 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 		return nil, err
 	}
 	s := &Synthetic{
-		rate:  accel.SampleRate,
-		scale: accel.CountsPerG,
-		mode:  cfg.Synthesis,
-		model: sensor.Composite{field},
-		nodes: make([]synthNode, 0, len(cfg.Positions)),
+		rate:        accel.SampleRate,
+		scale:       accel.CountsPerG,
+		mode:        cfg.Synthesis,
+		model:       sensor.Composite{field},
+		nodes:       make([]synthNode, 0, len(cfg.Positions)),
+		preparedFor: -1,
 	}
 	cull := sensor.CullThresholds{
 		Accel: cullFraction * ocean.Gravity / accel.CountsPerG,
@@ -196,6 +245,14 @@ func NewSynthetic(cfg SyntheticConfig) (*Synthetic, error) {
 	}
 	if cfg.Synthesis == SynthSpectral {
 		s.perNode = true
+		if !cfg.DisableIndex {
+			s.index = geo.NewIndex(cfg.Positions, 0)
+			s.cull = cull
+			// Index cells are inflated by the mooring drift radius plus a
+			// margin, so the region bound covers every position a node
+			// bucketed in the cell can observe from.
+			s.driftPad = cfg.DriftRadius + indexDriftMargin
+		}
 		s.plan, err = ocean.NewSpectralPlan(field, ocean.SpectralConfig{
 			Rate:   accel.SampleRate,
 			Window: cfg.SpectralWindow,
@@ -255,28 +312,92 @@ func (s *Synthetic) Synthesis() SynthesisMode { return s.mode }
 // Block implements Source: the node's sensor synthesizes n samples from
 // the node's model (phasor mode: the shared composite; spectral mode: the
 // node's own stream-headed composite), reusing the node's scratch buffers.
-// idx is unused — synthesis is a pure function of (t0, n) and the node's
-// sequential noise stream.
+// With the spatial index active the node's per-batch staged composite is
+// used when PrepareBatch ran for this batch; un-staged calls (direct Block
+// users outside the pipeline) conservatively carry every indexed wake, so
+// they are exactly the unindexed path. idx otherwise only identifies the
+// batch — synthesis is a pure function of (t0, n) and the node's sequential
+// noise stream.
 func (s *Synthetic) Block(node, idx int, t0 float64, n int) []sensor.Sample {
 	ns := &s.nodes[node]
 	model := s.model
 	if s.perNode {
 		model = ns.model
+		if s.index != nil && len(s.boxed) > 0 {
+			if s.preparedFor == int64(idx) {
+				model = ns.batch
+			} else {
+				ns.batch = append(ns.batch[:0], ns.model...)
+				for _, bm := range s.boxed {
+					ns.batch = append(ns.batch, bm)
+				}
+				model = ns.batch
+			}
+		}
 	}
 	return ns.sens.SampleBlock(model, t0, n, &ns.bufs)
+}
+
+// PrepareBatch implements BatchPreparer: once per batch, serially, it
+// queries the spatial index for each region-boundable wake and stages every
+// node's active composite for the parallel Block fan-out. The per-cell
+// predicate evaluates the wake's BoundsBox over the cell inflated by the
+// drift padding, over the same slack-padded window and against the same
+// inflated thresholds the sensor's own per-block cull uses — so a node the
+// index drops is provably one whose sensor would have culled the wake
+// anyway, and indexed synthesis stays bit-identical to unindexed.
+func (s *Synthetic) PrepareBatch(idx int, t0 float64, n int) {
+	if s.index == nil || len(s.boxed) == 0 {
+		return
+	}
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		ns.batch = append(ns.batch[:0], ns.model...)
+	}
+	t1 := t0 + float64(n-1)/s.rate
+	w0, w1 := t0-sensor.CullSlackTime, t1+sensor.CullSlackTime
+	pad := s.driftPad
+	for _, bm := range s.boxed {
+		bm := bm
+		s.queryBuf = s.index.QueryRegion(func(cmin, cmax geo.Vec2) bool {
+			lo := geo.Vec2{X: cmin.X - pad, Y: cmin.Y - pad}
+			hi := geo.Vec2{X: cmax.X + pad, Y: cmax.Y + pad}
+			ba, bs := bm.BoundsBox(lo, hi, w0, w1)
+			return ba*sensor.CullSlackFactor > s.cull.Accel ||
+				bs*sensor.CullSlackFactor > s.cull.Slope
+		}, s.queryBuf[:0])
+		for _, node := range s.queryBuf {
+			ns := &s.nodes[node]
+			ns.batch = append(ns.batch, bm)
+		}
+		s.idxSelected += int64(len(s.queryBuf))
+		s.idxOffered += int64(len(s.nodes))
+	}
+	s.preparedFor = int64(idx)
 }
 
 // AddSource implements Appender: the model superposes linearly, so ship
 // wakes (or any surface disturbance) stack onto the ambient sea. Call only
 // between pipeline runs — blocks synthesized after the call see the new
 // source. In spectral mode the model is appended to every node's composite
-// (each node owns its model so its spectral stream can head it).
+// (each node owns its model so its spectral stream can head it), except
+// that with the spatial index active, region-boundable wakes are instead
+// routed through the index: PrepareBatch adds them only to the nodes their
+// region bound can reach each batch.
 func (s *Synthetic) AddSource(m sensor.SurfaceModel) {
 	s.model = append(s.model, m)
-	if s.perNode {
-		for i := range s.nodes {
-			s.nodes[i].model = append(s.nodes[i].model, m)
+	if !s.perNode {
+		return
+	}
+	s.preparedFor = -1 // staged batch composites no longer cover the model set
+	if s.index != nil {
+		if bm, ok := m.(sensor.RegionBoundedModel); ok {
+			s.boxed = append(s.boxed, bm)
+			return
 		}
+	}
+	for i := range s.nodes {
+		s.nodes[i].model = append(s.nodes[i].model, m)
 	}
 }
 
@@ -293,6 +414,23 @@ type SynthesisStats struct {
 	CulledSlopeSum    float64 // dimensionless
 	WakeBlocksSkipped int64
 	WakeBlocksChecked int64
+	// Spatial-index effectiveness: of the node×wake block evaluations the
+	// index was offered, how many it let through (selected). The selected
+	// fraction is the index hit rate — low is good, it means most nodes
+	// never even see an active wake's bound check.
+	IndexedWakes      int
+	IndexNodeBlocks   int64 // selected: node-blocks that carried an indexed wake
+	IndexNodesOffered int64 // offered: node-blocks the index filtered
+}
+
+// IndexHitRate returns IndexNodeBlocks / IndexNodesOffered, the fraction of
+// node-blocks the spatial index let through to the per-block bound check
+// (0 when the index never filtered anything).
+func (st SynthesisStats) IndexHitRate() float64 {
+	if st.IndexNodesOffered == 0 {
+		return 0
+	}
+	return float64(st.IndexNodeBlocks) / float64(st.IndexNodesOffered)
 }
 
 // SynthesisStats aggregates culling counters across the plan and all node
@@ -309,5 +447,8 @@ func (s *Synthetic) SynthesisStats() SynthesisStats {
 		st.WakeBlocksSkipped += skipped
 		st.WakeBlocksChecked += checked
 	}
+	st.IndexedWakes = len(s.boxed)
+	st.IndexNodeBlocks = s.idxSelected
+	st.IndexNodesOffered = s.idxOffered
 	return st
 }

@@ -1,0 +1,155 @@
+package wsn
+
+import (
+	"fmt"
+
+	"github.com/sid-wsn/sid/internal/geo"
+)
+
+// Multi-level root selection: large fields cannot funnel every report
+// through one collection root, so the protocol layer partitions the
+// deployment into sub-clusters around k aggregation roots. SelectRoots picks
+// the roots deterministically; BuildForest assigns every node to its nearest
+// root by hop distance. Both are pure functions of the connectivity graph
+// and liveness at call time.
+
+// Forest is the multi-root analogue of Tree: a disjoint set of BFS trees,
+// one per root, with every alive reachable node assigned to its hop-nearest
+// root (ties broken toward the earliest root in Roots order — deterministic
+// for a deterministic root slice).
+type Forest struct {
+	Roots []NodeID
+	// Root[i] is node i's assigned root, -1 if unreachable or dead.
+	Root []NodeID
+	// Parent[i] is the next hop toward Root[i]; a root's parent is itself.
+	Parent []NodeID
+	// Hops[i] is the hop distance to Root[i], -1 if unreachable.
+	Hops []int
+}
+
+// SelectRoots picks k aggregation roots over the alive nodes by
+// farthest-point sampling on Euclidean position: the first root is the
+// alive node nearest the deployment centroid (ties: lowest ID), each
+// subsequent root the alive node farthest from all chosen roots (ties:
+// lowest ID). The result is sorted ascending — deterministic regardless of
+// map/iteration internals — and capped at the number of alive nodes.
+func (w *Network) SelectRoots(k int) []NodeID {
+	if k < 1 {
+		k = 1
+	}
+	var alive []*Node
+	for _, n := range w.nodes {
+		if n.Alive() {
+			alive = append(alive, n)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	if k > len(alive) {
+		k = len(alive)
+	}
+	var cx, cy float64
+	for _, n := range alive {
+		cx += n.Pos.X
+		cy += n.Pos.Y
+	}
+	cx /= float64(len(alive))
+	cy /= float64(len(alive))
+	centroid := geo.Vec2{X: cx, Y: cy}
+	best, bestD := alive[0], alive[0].Pos.Dist(centroid)
+	for _, n := range alive[1:] {
+		if d := n.Pos.Dist(centroid); d < bestD {
+			best, bestD = n, d
+		}
+	}
+	roots := []NodeID{best.ID}
+	// minDist[i] tracks each alive node's distance to its nearest chosen root.
+	minDist := make(map[NodeID]float64, len(alive))
+	for _, n := range alive {
+		minDist[n.ID] = n.Pos.Dist(best.Pos)
+	}
+	for len(roots) < k {
+		var far *Node
+		farD := -1.0
+		// alive is in ascending ID order, so a strict > keeps the lowest ID
+		// among equidistant candidates.
+		for _, n := range alive {
+			if d := minDist[n.ID]; d > farD {
+				far, farD = n, d
+			}
+		}
+		if far == nil || farD <= 0 {
+			break // every alive node already is (or coincides with) a root
+		}
+		roots = append(roots, far.ID)
+		for _, n := range alive {
+			if d := n.Pos.Dist(far.Pos); d < minDist[n.ID] {
+				minDist[n.ID] = d
+			}
+		}
+	}
+	sortNodeIDs(roots)
+	return roots
+}
+
+// BuildForest runs a multi-source BFS from the given roots over the alive
+// connectivity graph: every reachable node joins the tree of its
+// hop-nearest root, with ties resolved by BFS arrival order — roots are
+// seeded in slice order, and neighbor expansion is deterministic, so the
+// assignment is a pure function of (roots, graph, liveness).
+func (w *Network) BuildForest(roots []NodeID) (*Forest, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("wsn: forest needs at least one root")
+	}
+	f := &Forest{
+		Roots:  append([]NodeID(nil), roots...),
+		Root:   make([]NodeID, len(w.nodes)),
+		Parent: make([]NodeID, len(w.nodes)),
+		Hops:   make([]int, len(w.nodes)),
+	}
+	for i := range f.Hops {
+		f.Root[i] = -1
+		f.Parent[i] = -1
+		f.Hops[i] = -1
+	}
+	var queue []NodeID
+	for _, root := range roots {
+		r, err := w.Node(root)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Alive() {
+			return nil, fmt.Errorf("wsn: forest root %d is dead", root)
+		}
+		if f.Hops[root] != -1 {
+			return nil, fmt.Errorf("wsn: duplicate forest root %d", root)
+		}
+		f.Root[root] = root
+		f.Parent[root] = root
+		f.Hops[root] = 0
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range w.Neighbors(cur) {
+			if !w.nodes[nb].Alive() || f.Hops[nb] != -1 {
+				continue
+			}
+			f.Root[nb] = f.Root[cur]
+			f.Parent[nb] = cur
+			f.Hops[nb] = f.Hops[cur] + 1
+			queue = append(queue, nb)
+		}
+	}
+	return f, nil
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
